@@ -1,0 +1,27 @@
+//! Fig. 5 bench: regenerate "total service cost vs network charging rate
+//! under different storage charging rates" (Fast grid), print the
+//! reproduced rows, and time the per-cell scheduling pipeline across the
+//! network-rate sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vod_core::HeatMetric;
+use vod_experiments::{evaluate_cell, figures, render_table, EnvParams, Preset};
+
+fn bench(c: &mut Criterion) {
+    // Regenerate and print the figure once (Fast preset).
+    let fig = figures::fig5(Preset::Fast);
+    println!("\n{}", render_table(&fig));
+
+    let mut g = c.benchmark_group("fig5_cell");
+    g.sample_size(10);
+    for nrate in [300.0, 600.0, 1000.0] {
+        let params = EnvParams { nrate_per_gb: nrate, ..EnvParams::fast() };
+        g.bench_with_input(BenchmarkId::from_parameter(nrate as u64), &params, |b, p| {
+            b.iter(|| evaluate_cell(p, HeatMetric::TimeSpacePerCost).two_phase)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

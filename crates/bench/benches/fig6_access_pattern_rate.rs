@@ -1,0 +1,25 @@
+//! Fig. 6 bench: regenerate "total service cost vs network charging rate
+//! under different access patterns" and time the per-cell pipeline across
+//! the Zipf-skew sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vod_core::HeatMetric;
+use vod_experiments::{evaluate_cell, figures, render_table, EnvParams, Preset};
+
+fn bench(c: &mut Criterion) {
+    let fig = figures::fig6(Preset::Fast);
+    println!("\n{}", render_table(&fig));
+
+    let mut g = c.benchmark_group("fig6_cell");
+    g.sample_size(10);
+    for alpha in [0.1, 0.271, 0.7] {
+        let params = EnvParams { zipf_alpha: alpha, ..EnvParams::fast() };
+        g.bench_with_input(BenchmarkId::from_parameter(alpha), &params, |b, p| {
+            b.iter(|| evaluate_cell(p, HeatMetric::TimeSpacePerCost).two_phase)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Fig. 7 bench: regenerate "storage charging rate vs total service cost"
+//! (with the network-only reference line) and time the per-cell pipeline
+//! across the storage-rate sweep, where caching intensity — and thus
+//! scheduler work — varies the most.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vod_core::HeatMetric;
+use vod_experiments::{evaluate_cell, figures, render_table, EnvParams, Preset};
+
+fn bench(c: &mut Criterion) {
+    let fig = figures::fig7(Preset::Fast);
+    println!("\n{}", render_table(&fig));
+
+    let mut g = c.benchmark_group("fig7_cell");
+    g.sample_size(10);
+    for srate in [0.0, 50.0, 300.0] {
+        let params = EnvParams { srate_per_gb_hour: srate, ..EnvParams::fast() };
+        g.bench_with_input(BenchmarkId::from_parameter(srate as u64), &params, |b, p| {
+            b.iter(|| evaluate_cell(p, HeatMetric::TimeSpacePerCost).two_phase)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

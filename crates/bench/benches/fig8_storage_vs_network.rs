@@ -1,0 +1,31 @@
+//! Fig. 8 bench: regenerate "storage charging rate vs total service cost
+//! under different network charging rates" and time representative cells
+//! of the two-dimensional sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vod_core::HeatMetric;
+use vod_experiments::{evaluate_cell, figures, render_table, EnvParams, Preset};
+
+fn bench(c: &mut Criterion) {
+    let fig = figures::fig8(Preset::Fast);
+    println!("\n{}", render_table(&fig));
+
+    let mut g = c.benchmark_group("fig8_cell");
+    g.sample_size(10);
+    for (srate, nrate) in [(0.0, 300.0), (150.0, 500.0), (300.0, 900.0)] {
+        let params = EnvParams {
+            srate_per_gb_hour: srate,
+            nrate_per_gb: nrate,
+            ..EnvParams::fast()
+        };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("s{srate}_n{nrate}")),
+            &params,
+            |b, p| b.iter(|| evaluate_cell(p, HeatMetric::TimeSpacePerCost).two_phase),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 9 bench: regenerate "user access pattern vs total service cost
+//! under different intermediate storage sizes" and time cells along both
+//! the skew and capacity axes (small capacity = heavy overflow
+//! resolution).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vod_core::HeatMetric;
+use vod_experiments::{evaluate_cell, figures, render_table, EnvParams, Preset};
+
+fn bench(c: &mut Criterion) {
+    let fig = figures::fig9(Preset::Fast);
+    println!("\n{}", render_table(&fig));
+
+    let mut g = c.benchmark_group("fig9_cell");
+    g.sample_size(10);
+    for (alpha, cap) in [(0.1, 5.0), (0.1, 14.0), (0.9, 5.0)] {
+        let params = EnvParams { zipf_alpha: alpha, capacity_gb: cap, ..EnvParams::fast() };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("a{alpha}_c{cap}")),
+            &params,
+            |b, p| b.iter(|| evaluate_cell(p, HeatMetric::TimeSpacePerCost).two_phase),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Table 5 bench: regenerate the heat-metric comparison (Fast grid),
+//! print the reproduced statistics, and time overflow resolution under
+//! each of the four victim-selection metrics on a tight-capacity cell.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vod_bench::Fixture;
+use vod_core::{sorp_solve, HeatMetric, SorpConfig};
+use vod_experiments::{table5, Preset};
+
+fn bench(c: &mut Criterion) {
+    let r = table5::run(Preset::Fast);
+    println!("\n{}", r.render());
+
+    // A cell with meaningful overflow pressure: 5 GB stores, skewed access.
+    let fx = Fixture::with(5.0, 0.1, 42);
+    let ctx = fx.ctx();
+    let phase1 = fx.phase1();
+
+    let mut g = c.benchmark_group("sorp_by_heat_metric");
+    g.sample_size(10);
+    for metric in HeatMetric::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("m{}", metric.method_number())),
+            &metric,
+            |b, &m| b.iter(|| sorp_solve(&ctx, &phase1, &SorpConfig::with_metric(m)).cost),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,281 @@
+//! Per-storage occupancy bookkeeping.
+//!
+//! The scheduler "maintains information about the available space at the
+//! intermediate storages" (paper §4.1). The ledger stores every
+//! residency's [`SpaceProfile`] keyed by hosting storage, supports
+//! excluding one video (needed while that video is being rescheduled), and
+//! answers the two queries the algorithms need:
+//!
+//! * the aggregate usage at a time point ([`StorageLedger::usage_at`]),
+//! * whether a candidate profile fits under the capacity together with
+//!   everything else ([`StorageLedger::fits`]) — the admission test of the
+//!   rejective greedy (§4.4).
+
+use crate::overflow::CAPACITY_EPS;
+use vod_cost_model::{Bytes, Catalog, Schedule, Secs, SpaceProfile, VideoId};
+use vod_topology::{NodeId, Topology};
+
+/// Occupancy ledger over every intermediate storage.
+#[derive(Clone, Debug)]
+pub struct StorageLedger {
+    /// Per node: `(video, profile)` entries with positive plateau.
+    entries: Vec<Vec<(VideoId, SpaceProfile)>>,
+}
+
+impl StorageLedger {
+    /// An empty ledger for a topology.
+    pub fn new(topo: &Topology) -> Self {
+        Self { entries: vec![Vec::new(); topo.node_count()] }
+    }
+
+    /// Build the ledger of every residency in `schedule`. Degenerate
+    /// (zero-space) residencies are skipped — they are pure relays.
+    pub fn from_schedule(topo: &Topology, catalog: &Catalog, schedule: &Schedule) -> Self {
+        let mut ledger = Self::new(topo);
+        for r in schedule.residencies() {
+            let p = r.profile(catalog.get(r.video));
+            ledger.add(r.loc, r.video, p);
+        }
+        ledger
+    }
+
+    /// Record a profile at a storage (no-op for zero-space profiles).
+    pub fn add(&mut self, loc: NodeId, video: VideoId, profile: SpaceProfile) {
+        if profile.peak() > 0.0 {
+            self.entries[loc.index()].push((video, profile));
+        }
+    }
+
+    /// Drop every profile belonging to `video` (ahead of rescheduling it).
+    pub fn remove_video(&mut self, video: VideoId) {
+        for node in &mut self.entries {
+            node.retain(|(v, _)| *v != video);
+        }
+    }
+
+    /// Number of recorded (non-degenerate) profiles at `loc`.
+    pub fn profile_count(&self, loc: NodeId) -> usize {
+        self.entries[loc.index()].len()
+    }
+
+    /// Aggregate occupancy at `loc` at time `t`, in bytes, optionally
+    /// excluding one video's profiles. Right-continuous in `t`.
+    pub fn usage_at(&self, loc: NodeId, t: Secs, exclude: Option<VideoId>) -> Bytes {
+        self.entries[loc.index()]
+            .iter()
+            .filter(|(v, _)| Some(*v) != exclude)
+            .map(|(_, p)| p.space_at(t))
+            .sum()
+    }
+
+    /// Every breakpoint of the profiles at `loc` (unsorted, may repeat),
+    /// optionally excluding one video.
+    pub fn breakpoints(&self, loc: NodeId, exclude: Option<VideoId>) -> Vec<Secs> {
+        let mut out = Vec::with_capacity(self.entries[loc.index()].len() * 3);
+        for (v, p) in &self.entries[loc.index()] {
+            if Some(*v) != exclude {
+                out.extend(p.breakpoints());
+            }
+        }
+        out
+    }
+
+    /// Peak of `usage + candidate` over the candidate's support.
+    pub fn peak_with(
+        &self,
+        loc: NodeId,
+        candidate: &SpaceProfile,
+        exclude: Option<VideoId>,
+    ) -> Bytes {
+        if candidate.peak() == 0.0 {
+            return 0.0;
+        }
+        let mut points = self.breakpoints(loc, exclude);
+        points.extend(candidate.breakpoints());
+        points.retain(|&t| (candidate.start..=candidate.end).contains(&t));
+        points.push(candidate.start);
+        points.push(candidate.end);
+        points.sort_by(|a, b| a.partial_cmp(b).expect("breakpoints are finite"));
+        points.dedup();
+
+        let combined = |t: Secs| self.usage_at(loc, t, exclude) + candidate.space_at(t);
+        let mut peak: Bytes = 0.0;
+        for w in points.windows(2) {
+            let (t0, t1) = (w[0], w[1]);
+            if t1 <= t0 {
+                continue;
+            }
+            // Linear on [t0, t1): check the right-continuous start value
+            // and the left limit at t1 (recovered via the midpoint).
+            let u0 = combined(t0);
+            let umid = combined(0.5 * (t0 + t1));
+            let u1 = 2.0 * umid - u0;
+            peak = peak.max(u0).max(u1);
+        }
+        if points.len() < 2 {
+            peak = peak.max(combined(candidate.start));
+        }
+        peak
+    }
+
+    /// Admission test: would adding `candidate` at `loc` keep aggregate
+    /// occupancy within the storage's capacity at all times? Zero-space
+    /// candidates always fit.
+    pub fn fits(
+        &self,
+        topo: &Topology,
+        loc: NodeId,
+        candidate: &SpaceProfile,
+        exclude: Option<VideoId>,
+    ) -> bool {
+        let capacity = topo.capacity(loc);
+        if !capacity.is_finite() {
+            return true;
+        }
+        self.peak_with(loc, candidate, exclude) <= capacity * (1.0 + CAPACITY_EPS) + CAPACITY_EPS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_topology::{builders, units};
+
+    fn topo(cap_gb: f64) -> Topology {
+        builders::paper_fig2(16.0, 8.0, 1.0, cap_gb)
+    }
+
+    fn profile(t_s: Secs, t_f: Secs) -> SpaceProfile {
+        // 2 GB file, 1000 s playback.
+        SpaceProfile::new(t_s, t_f, units::gb(2.0), 1000.0)
+    }
+
+    #[test]
+    fn empty_ledger_reads_zero() {
+        let t = topo(5.0);
+        let l = StorageLedger::new(&t);
+        assert_eq!(l.usage_at(NodeId(1), 0.0, None), 0.0);
+        assert!(l.breakpoints(NodeId(1), None).is_empty());
+        assert_eq!(l.profile_count(NodeId(1)), 0);
+    }
+
+    use vod_topology::Topology;
+
+    #[test]
+    fn usage_sums_concurrent_profiles() {
+        let t = topo(10.0);
+        let mut l = StorageLedger::new(&t);
+        l.add(NodeId(1), VideoId(0), profile(0.0, 5000.0));
+        l.add(NodeId(1), VideoId(1), profile(1000.0, 4000.0));
+        assert_eq!(l.usage_at(NodeId(1), 500.0, None), units::gb(2.0));
+        assert_eq!(l.usage_at(NodeId(1), 2000.0, None), units::gb(4.0));
+        // Excluding video 1 removes its contribution.
+        assert_eq!(l.usage_at(NodeId(1), 2000.0, Some(VideoId(1))), units::gb(2.0));
+        // Other locations unaffected.
+        assert_eq!(l.usage_at(NodeId(2), 2000.0, None), 0.0);
+    }
+
+    #[test]
+    fn degenerate_profiles_are_not_recorded() {
+        let t = topo(5.0);
+        let mut l = StorageLedger::new(&t);
+        l.add(NodeId(1), VideoId(0), profile(100.0, 100.0));
+        assert_eq!(l.profile_count(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn remove_video_clears_everywhere() {
+        let t = topo(5.0);
+        let mut l = StorageLedger::new(&t);
+        l.add(NodeId(1), VideoId(0), profile(0.0, 5000.0));
+        l.add(NodeId(2), VideoId(0), profile(0.0, 5000.0));
+        l.add(NodeId(1), VideoId(1), profile(0.0, 5000.0));
+        l.remove_video(VideoId(0));
+        assert_eq!(l.profile_count(NodeId(1)), 1);
+        assert_eq!(l.profile_count(NodeId(2)), 0);
+    }
+
+    #[test]
+    fn peak_with_detects_concurrent_plateaus() {
+        let t = topo(5.0);
+        let mut l = StorageLedger::new(&t);
+        l.add(NodeId(1), VideoId(0), profile(0.0, 5000.0));
+        let cand = profile(1000.0, 4000.0);
+        let peak = l.peak_with(NodeId(1), &cand, None);
+        assert!((peak - units::gb(4.0)).abs() < 1e-3, "peak {peak}");
+    }
+
+    #[test]
+    fn peak_with_sees_partial_drain_overlap() {
+        let t = topo(5.0);
+        let mut l = StorageLedger::new(&t);
+        // Drains over [5000, 6000].
+        l.add(NodeId(1), VideoId(0), profile(0.0, 5000.0));
+        // Candidate plateau begins mid-drain at 5500, where the old copy
+        // still holds 1 GB.
+        let cand = profile(5500.0, 9000.0);
+        let peak = l.peak_with(NodeId(1), &cand, None);
+        assert!((peak - units::gb(3.0)).abs() < 1e-3, "peak {peak}");
+    }
+
+    #[test]
+    fn fits_respects_capacity() {
+        let t = topo(3.0); // 3 GB capacity
+        let mut l = StorageLedger::new(&t);
+        l.add(NodeId(1), VideoId(0), profile(0.0, 5000.0)); // 2 GB resident
+        // Another concurrent 2 GB copy would need 4 GB: rejected.
+        assert!(!l.fits(&t, NodeId(1), &profile(1000.0, 4000.0), None));
+        // The same copy after the first has drained fits.
+        assert!(l.fits(&t, NodeId(1), &profile(6500.0, 9000.0), None));
+        // Excluding the resident video admits the overlap.
+        assert!(l.fits(&t, NodeId(1), &profile(1000.0, 4000.0), Some(VideoId(0))));
+    }
+
+    #[test]
+    fn fits_is_vacuous_at_the_warehouse() {
+        let t = topo(3.0);
+        let l = StorageLedger::new(&t);
+        let huge = SpaceProfile::new(0.0, 1e6, units::gb(1e6), 1000.0);
+        assert!(l.fits(&t, t.warehouse(), &huge, None));
+    }
+
+    #[test]
+    fn zero_space_candidate_always_fits() {
+        let t = topo(3.0);
+        let mut l = StorageLedger::new(&t);
+        l.add(NodeId(1), VideoId(0), profile(0.0, 5000.0));
+        l.add(NodeId(1), VideoId(1), profile(0.0, 5000.0)); // already over!
+        let relay = SpaceProfile::new(100.0, 100.0, units::gb(2.0), 1000.0);
+        assert!(l.fits(&t, NodeId(1), &relay, None));
+    }
+
+    #[test]
+    fn exact_fill_fits() {
+        let t = topo(4.0);
+        let mut l = StorageLedger::new(&t);
+        l.add(NodeId(1), VideoId(0), profile(0.0, 5000.0));
+        // Exactly 2 + 2 = 4 GB.
+        assert!(l.fits(&t, NodeId(1), &profile(0.0, 5000.0), None));
+    }
+
+    #[test]
+    fn from_schedule_skips_relays_and_keeps_real_copies() {
+        use vod_cost_model::{Request, Residency, Video, VideoSchedule};
+        use vod_topology::UserId;
+        let t = topo(5.0);
+        let video = Video::new(VideoId(0), units::gb(2.0), 1000.0, units::mbps(5.0));
+        let catalog = Catalog::new(vec![video]);
+        let mut vs = VideoSchedule::new(VideoId(0));
+        let r0 = Request { user: UserId(0), video: VideoId(0), start: 0.0 };
+        let r1 = Request { user: UserId(1), video: VideoId(0), start: 800.0 };
+        let mut real = Residency::begin(NodeId(1), t.warehouse(), r0);
+        real.extend(r1);
+        vs.residencies.push(real);
+        vs.residencies.push(Residency::begin(NodeId(2), t.warehouse(), r0)); // relay
+        let mut s = Schedule::new();
+        s.upsert(vs);
+        let l = StorageLedger::from_schedule(&t, &catalog, &s);
+        assert_eq!(l.profile_count(NodeId(1)), 1);
+        assert_eq!(l.profile_count(NodeId(2)), 0);
+    }
+}

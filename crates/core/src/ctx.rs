@@ -1,0 +1,62 @@
+//! Shared scheduling context.
+
+use vod_cost_model::{Catalog, CostModel, Dollars, Schedule, VideoSchedule};
+use vod_topology::{RouteTable, Topology};
+
+/// Everything the scheduler needs to price and route candidate service
+/// plans: the topology, its all-pairs cheapest routes, the cost model, and
+/// the video catalog. Routes are derived once from the topology — rebuild
+/// the context after re-parameterising link rates.
+#[derive(Clone, Debug)]
+pub struct SchedCtx<'a> {
+    /// The service environment.
+    pub topo: &'a Topology,
+    /// Cheapest routes over the environment's current `nrate`s.
+    pub routes: RouteTable,
+    /// The schedule pricing function Ψ.
+    pub model: &'a CostModel,
+    /// The warehouse's catalog.
+    pub catalog: &'a Catalog,
+}
+
+impl<'a> SchedCtx<'a> {
+    /// Build a context, computing the route table for `topo`.
+    pub fn new(topo: &'a Topology, model: &'a CostModel, catalog: &'a Catalog) -> Self {
+        Self { topo, routes: RouteTable::build(topo), model, catalog }
+    }
+
+    /// Ψ(S_i) for one video's schedule.
+    pub fn video_cost(&self, s: &VideoSchedule) -> Dollars {
+        self.model.video_schedule_cost(self.topo, self.catalog.get(s.video), s)
+    }
+
+    /// Ψ(S) for a global schedule.
+    pub fn schedule_cost(&self, s: &Schedule) -> Dollars {
+        self.model.schedule_cost(self.topo, self.catalog, s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_cost_model::{Request, Transfer, Video, VideoId};
+    use vod_topology::{builders, units, NodeId, UserId};
+
+    #[test]
+    fn context_prices_like_the_model() {
+        let topo = builders::paper_fig2(16.0, 8.0, 1.0, 5.0);
+        let video = Video::new(VideoId(0), units::gb(2.5), units::minutes(90.0), units::mbps(6.0));
+        let catalog = Catalog::new(vec![video]);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+
+        let req = Request { user: UserId(0), video: VideoId(0), start: 0.0 };
+        let mut vs = VideoSchedule::new(VideoId(0));
+        vs.transfers.push(Transfer::for_user(&req, ctx.routes.path(topo.warehouse(), NodeId(1))));
+        assert!((ctx.video_cost(&vs) - 64.8).abs() < 1e-9);
+
+        let mut s = Schedule::new();
+        s.upsert(vs);
+        assert!((ctx.schedule_cost(&s) - 64.8).abs() < 1e-9);
+    }
+}

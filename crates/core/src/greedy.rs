@@ -1,0 +1,629 @@
+//! The greedy service scheduler (paper §3.2) and its capacity-aware
+//! *rejective* variant (paper §4.4).
+//!
+//! For each request of a video, in chronological order, the greedy
+//! enumerates every way to serve it and picks the cheapest incremental
+//! cost:
+//!
+//! * **deliver** the stream from a source (the warehouse or an existing
+//!   cached copy) straight to the user's local storage, extending the
+//!   source copy's residency if the source is a cache;
+//! * **introduce a new cache** at any unused intermediate storage `m`: the
+//!   stream flows `source → m → local`, `m` copies the blocks as they pass
+//!   (so a later request can be served from `m`), again extending the
+//!   source copy if it is a cache.
+//!
+//! Equal-cost candidates break ties toward caching at the user's local
+//! storage (a degenerate relay residency is free under the cost model and
+//! can only help later requests), then toward serving from closer copies,
+//! and finally toward lower node ids — making the schedule deterministic.
+//!
+//! The **rejective greedy** is the same search with two filters (paper
+//! §4.4): a candidate whose residency profile would exceed the hosting
+//! storage's remaining capacity is rejected, and so is one that occupies a
+//! *forbidden* `(storage, interval)` — the overflow being resolved.
+//! Serving directly from the warehouse is always admissible, so the
+//! rejective greedy always produces a feasible schedule.
+
+use crate::{Interval, SchedCtx, StorageLedger};
+use std::collections::BTreeMap;
+use vod_cost_model::{
+    Dollars, Request, RequestBatch, Residency, Schedule, Secs, SpaceProfile, Transfer, Video,
+    VideoId, VideoSchedule,
+};
+use vod_topology::NodeId;
+
+/// Relative tolerance for treating two candidate costs as equal, letting
+/// the deterministic tie-break order decide.
+const COST_EPS: f64 = 1e-9;
+
+/// Tunable design choices of the greedy, exposed for the ablation studies
+/// called out in DESIGN.md. The default enables everything — the paper's
+/// algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GreedyPolicy {
+    /// Consider introducing new relay caches ("another intermediate
+    /// storage … is introduced to cache the file", §3.2 option 2).
+    /// Disabled, the greedy degenerates to direct delivery — the
+    /// network-only system.
+    pub allow_new_caches: bool,
+    /// Consider serving from (and relay-caching at) storages other than
+    /// the requesting user's local one. Disabled, caching is purely
+    /// neighborhood-local.
+    pub allow_remote_placement: bool,
+    /// Break cost ties toward caching at the local storage (free under
+    /// the cost model, helps later requests). Disabled, ties break on
+    /// node ids alone.
+    pub prefer_local_cache_on_ties: bool,
+}
+
+impl Default for GreedyPolicy {
+    fn default() -> Self {
+        Self {
+            allow_new_caches: true,
+            allow_remote_placement: true,
+            prefer_local_cache_on_ties: true,
+        }
+    }
+}
+
+/// Capacity and placement constraints for the rejective greedy.
+#[derive(Clone, Debug)]
+pub struct Constraints<'a> {
+    /// Occupancy of the rest of the schedule. Profiles of the video being
+    /// rescheduled must be excluded via [`Constraints::exclude`].
+    pub ledger: &'a StorageLedger,
+    /// The video whose profiles in `ledger` must be ignored (it is being
+    /// rescheduled from scratch).
+    pub exclude: Option<VideoId>,
+    /// `(storage, window)` pairs where this video must not occupy space
+    /// (the overflow constraint of §4.2, accumulated across resolution
+    /// iterations).
+    pub forbidden: &'a [(NodeId, Interval)],
+}
+
+impl Constraints<'_> {
+    /// Whether `profile` may be placed at `loc`: it must not overlap any
+    /// forbidden window at `loc` with positive space, and it must fit
+    /// under the storage's capacity together with everything else.
+    fn admits(&self, ctx: &SchedCtx<'_>, loc: NodeId, profile: &SpaceProfile) -> bool {
+        if profile.peak() > 0.0 {
+            let support = Interval::new(profile.start, profile.end);
+            for (floc, window) in self.forbidden {
+                if *floc == loc && support.overlaps(window) {
+                    return false;
+                }
+            }
+        }
+        self.ledger.fits(ctx.topo, loc, profile, self.exclude)
+    }
+}
+
+/// One way of serving the current request.
+#[derive(Clone, Copy, Debug)]
+struct Candidate {
+    /// Incremental cost ΔΨ of this plan.
+    cost: Dollars,
+    /// Tie-break rank; lower wins among equal costs.
+    priority: u8,
+    /// Stream source (warehouse or a cache location).
+    src: NodeId,
+    /// New cache location, if this plan introduces one.
+    new_cache: Option<NodeId>,
+}
+
+impl Candidate {
+    fn beats(&self, other: &Candidate) -> bool {
+        let tol = COST_EPS * (1.0 + self.cost.abs().max(other.cost.abs()));
+        if self.cost < other.cost - tol {
+            return true;
+        }
+        if self.cost > other.cost + tol {
+            return false;
+        }
+        let key = |c: &Candidate| (c.priority, c.src.0, c.new_cache.map_or(u32::MAX, |n| n.0));
+        key(self) < key(other)
+    }
+}
+
+/// Compute the greedy schedule for one video's chronologically sorted
+/// requests, ignoring storage capacities — the `find_video_schedule`
+/// subroutine of the paper's Algorithm 1.
+///
+/// # Panics
+///
+/// Panics if `requests` is empty, unsorted, or mixes videos.
+pub fn find_video_schedule(ctx: &SchedCtx<'_>, requests: &[Request]) -> VideoSchedule {
+    greedy(ctx, requests, None, GreedyPolicy::default())
+}
+
+/// [`find_video_schedule`] under an explicit [`GreedyPolicy`] (ablations).
+pub fn find_video_schedule_with(
+    ctx: &SchedCtx<'_>,
+    requests: &[Request],
+    policy: GreedyPolicy,
+) -> VideoSchedule {
+    greedy(ctx, requests, None, policy)
+}
+
+/// Phase 1, `IVSP_solve` (paper Algorithm 1): schedule every video group
+/// of the batch independently and take the union.
+pub fn ivsp_solve(ctx: &SchedCtx<'_>, batch: &RequestBatch) -> Schedule {
+    ivsp_solve_with(ctx, batch, GreedyPolicy::default())
+}
+
+/// [`ivsp_solve`] under an explicit [`GreedyPolicy`] (ablations).
+pub fn ivsp_solve_with(
+    ctx: &SchedCtx<'_>,
+    batch: &RequestBatch,
+    policy: GreedyPolicy,
+) -> Schedule {
+    batch.groups().map(|(_, group)| greedy(ctx, group, None, policy)).collect()
+}
+
+/// The rejective greedy (paper §4.4): recompute one video's schedule under
+/// capacity and forbidden-placement constraints. Always succeeds — direct
+/// warehouse delivery needs no storage.
+pub fn reschedule_video(
+    ctx: &SchedCtx<'_>,
+    requests: &[Request],
+    constraints: &Constraints<'_>,
+) -> VideoSchedule {
+    greedy(ctx, requests, Some(constraints), GreedyPolicy::default())
+}
+
+fn greedy(
+    ctx: &SchedCtx<'_>,
+    requests: &[Request],
+    constraints: Option<&Constraints<'_>>,
+    policy: GreedyPolicy,
+) -> VideoSchedule {
+    let first = requests.first().expect("cannot schedule an empty request group");
+    let vid = first.video;
+    debug_assert!(
+        requests.windows(2).all(|w| w[0].start <= w[1].start && w[0].video == w[1].video),
+        "requests must be chronologically sorted and of one video"
+    );
+    let video = ctx.catalog.get(vid);
+    let vw = ctx.topo.warehouse();
+    let amortized = video.amortized_bytes();
+
+    // Active caches, keyed by hosting storage for deterministic iteration.
+    let mut caches: BTreeMap<NodeId, Residency> = BTreeMap::new();
+    let mut schedule = VideoSchedule::new(vid);
+
+    for req in requests {
+        let local = ctx.topo.home_of(req.user);
+        let mut best: Option<Candidate> = None;
+        let consider = |cand: Candidate, best: &mut Option<Candidate>| match best {
+            Some(b) if !cand.beats(b) => {}
+            _ => *best = Some(cand),
+        };
+
+        // Enumerate sources: the warehouse plus every existing cache.
+        for src in std::iter::once(vw).chain(caches.keys().copied()) {
+            // Cost and admissibility of extending the source copy to serve
+            // at req.start.
+            let ext = match caches.get(&src) {
+                Some(r) => {
+                    match extension(ctx, video, r, req.start, constraints) {
+                        Some(cost) => cost,
+                        None => continue, // extension inadmissible: skip source
+                    }
+                }
+                None => 0.0,
+            };
+
+            if !policy.allow_remote_placement && src != vw && src != local {
+                continue;
+            }
+
+            // (a) Deliver src → local.
+            let priority = if !policy.prefer_local_cache_on_ties {
+                0
+            } else if src == local {
+                1
+            } else if src == vw {
+                4
+            } else {
+                2
+            };
+            consider(
+                Candidate {
+                    cost: amortized * ctx.routes.rate(src, local) + ext,
+                    priority,
+                    src,
+                    new_cache: None,
+                },
+                &mut best,
+            );
+
+            // (b) Deliver src → m → local, introducing a cache at m. The
+            // new residency starts degenerate ([t, t], zero space), which
+            // is always admissible; only later extensions are charged and
+            // capacity-checked.
+            if !policy.allow_new_caches {
+                continue;
+            }
+            for m in ctx.topo.storages() {
+                if m == src || caches.contains_key(&m) {
+                    continue;
+                }
+                if !policy.allow_remote_placement && m != local {
+                    continue;
+                }
+                let cost =
+                    amortized * (ctx.routes.rate(src, m) + ctx.routes.rate(m, local)) + ext;
+                let priority = if !policy.prefer_local_cache_on_ties {
+                    0
+                } else if m == local {
+                    0
+                } else {
+                    3
+                };
+                consider(Candidate { cost, priority, src, new_cache: Some(m) }, &mut best);
+            }
+        }
+
+        let plan = best.expect("direct warehouse delivery is always admissible");
+
+        // Apply the chosen plan.
+        if let Some(src_cache) = caches.get_mut(&plan.src) {
+            src_cache.extend(*req);
+        }
+        match plan.new_cache {
+            None => {
+                schedule
+                    .transfers
+                    .push(Transfer::for_user(req, ctx.routes.path(plan.src, local)));
+            }
+            Some(m) => {
+                let mut route = ctx.routes.path(plan.src, m).nodes;
+                route.extend_from_slice(&ctx.routes.path(m, local).nodes[1..]);
+                schedule.transfers.push(Transfer {
+                    video: vid,
+                    route,
+                    start: req.start,
+                    user: Some(req.user),
+                });
+                caches.insert(m, Residency::begin(m, plan.src, *req));
+            }
+        }
+    }
+
+    schedule.residencies.extend(caches.into_values());
+    schedule
+}
+
+/// Incremental storage cost of extending cache `r` so its last service
+/// starts at `t`, or `None` if the extension is inadmissible under the
+/// constraints.
+fn extension(
+    ctx: &SchedCtx<'_>,
+    video: &Video,
+    r: &Residency,
+    t: Secs,
+    constraints: Option<&Constraints<'_>>,
+) -> Option<Dollars> {
+    debug_assert!(t >= r.last_service, "requests are processed chronologically");
+    let model = ctx.model.space_model();
+    let old = r.profile_with(video, model);
+    let new = SpaceProfile::with_model(r.start, t, video.size, video.playback, model);
+    if let Some(cons) = constraints {
+        if !cons.admits(ctx, r.loc, &new) {
+            return None;
+        }
+    }
+    Some(ctx.topo.srate(r.loc) * (new.integral() - old.integral()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_cost_model::{Catalog, CostModel};
+    use vod_topology::{builders, units, Topology, UserId};
+
+    /// Fig. 2 environment with the dollar-exact rates.
+    fn fig2() -> (Topology, Catalog) {
+        let topo = builders::paper_fig2(16.0, 8.0, 1.0, 5.0);
+        let video = Video::new(
+            VideoId(0),
+            units::gb(2.5),
+            units::minutes(90.0),
+            units::mbps(6.0),
+        );
+        (topo, Catalog::new(vec![video]))
+    }
+
+    const T1: f64 = 13.0 * 3600.0;
+    const T2: f64 = 14.5 * 3600.0;
+    const T3: f64 = 16.0 * 3600.0;
+
+    fn fig2_requests() -> Vec<Request> {
+        vec![
+            Request { user: UserId(0), video: VideoId(0), start: T1 },
+            Request { user: UserId(1), video: VideoId(0), start: T2 },
+            Request { user: UserId(2), video: VideoId(0), start: T3 },
+        ]
+    }
+
+    #[test]
+    fn greedy_beats_both_paper_example_schedules() {
+        let (topo, catalog) = fig2();
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+        let vs = find_video_schedule(&ctx, &fig2_requests());
+        let cost = ctx.video_cost(&vs);
+        // The paper's hand-enumerated S1 costs $259.20 and S2 $138.975;
+        // the greedy must do at least as well as S2 (it additionally
+        // caches at IS2, yielding $108.45).
+        assert!(cost <= 138.975 + 1e-9, "greedy cost {cost}");
+        assert!((cost - 108.45).abs() < 1e-6, "greedy cost {cost}");
+        assert_eq!(vs.delivery_count(), 3);
+    }
+
+    #[test]
+    fn greedy_caches_at_local_storage_first() {
+        let (topo, catalog) = fig2();
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+        let vs = find_video_schedule(&ctx, &fig2_requests());
+        // U1's stream creates a cache at IS1, U2's at IS2.
+        let locs: Vec<NodeId> = vs.residencies.iter().map(|r| r.loc).collect();
+        assert!(locs.contains(&NodeId(1)));
+        assert!(locs.contains(&NodeId(2)));
+        // IS1's copy fed from the warehouse, IS2's from IS1.
+        let r1 = vs.residencies.iter().find(|r| r.loc == NodeId(1)).unwrap();
+        let r2 = vs.residencies.iter().find(|r| r.loc == NodeId(2)).unwrap();
+        assert_eq!(r1.src, topo.warehouse());
+        assert_eq!(r2.src, NodeId(1));
+    }
+
+    #[test]
+    fn single_request_is_direct_with_free_relay_cache() {
+        let (topo, catalog) = fig2();
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+        let reqs = vec![Request { user: UserId(0), video: VideoId(0), start: T1 }];
+        let vs = find_video_schedule(&ctx, &reqs);
+        // Network: one stream VW→IS1 at $64.80; the relay cache is free.
+        let cost = ctx.video_cost(&vs);
+        assert!((cost - 64.8).abs() < 1e-9);
+        assert_eq!(vs.transfers.len(), 1);
+        assert_eq!(vs.transfers[0].route, vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn greedy_is_never_worse_than_all_direct() {
+        // Property spot-check on the paper topology with a real workload.
+        use vod_workload::{CatalogConfig, RequestConfig, Workload};
+        let topo = builders::paper_fig4(&builders::PaperFig4Config::default());
+        let wl = Workload::generate(&topo, &CatalogConfig::small(60), &RequestConfig::paper(), 9);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
+        for (_, group) in wl.requests.groups() {
+            let vs = find_video_schedule(&ctx, group);
+            let direct: Dollars = group
+                .iter()
+                .map(|r| {
+                    let video = ctx.catalog.get(r.video);
+                    video.amortized_bytes()
+                        * ctx.routes.rate(topo.warehouse(), topo.home_of(r.user))
+                })
+                .sum();
+            let cost = ctx.video_cost(&vs);
+            assert!(
+                cost <= direct + 1e-6,
+                "greedy ({cost}) worse than all-direct ({direct}) for {} requests",
+                group.len()
+            );
+        }
+    }
+
+    #[test]
+    fn every_request_gets_exactly_one_delivery() {
+        use vod_workload::{CatalogConfig, RequestConfig, Workload};
+        let topo = builders::paper_fig4(&builders::PaperFig4Config::default());
+        let wl = Workload::generate(&topo, &CatalogConfig::small(40), &RequestConfig::paper(), 4);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
+        let schedule = ivsp_solve(&ctx, &wl.requests);
+        assert_eq!(schedule.delivery_count(), wl.requests.len());
+        // Deliveries terminate at the right local storage.
+        for t in schedule.transfers() {
+            if let Some(user) = t.user {
+                assert_eq!(t.dst(), topo.home_of(user), "delivery must end at the local IS");
+            }
+        }
+    }
+
+    #[test]
+    fn expensive_storage_suppresses_caching() {
+        // With an enormous storage rate, extending any residency costs
+        // more than re-shipping from the warehouse, so every delivery is
+        // direct and every residency stays degenerate.
+        let mut topo = builders::paper_fig2(16.0, 8.0, 1.0, 5.0);
+        topo.set_uniform_srate(units::srate_per_gb_hour(1e7)).unwrap();
+        let video =
+            Video::new(VideoId(0), units::gb(2.5), units::minutes(90.0), units::mbps(6.0));
+        let catalog = Catalog::new(vec![video]);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+        let vs = find_video_schedule(&ctx, &fig2_requests());
+        let cost = ctx.video_cost(&vs);
+        // All three direct: $259.20, the paper's S1.
+        assert!((cost - 259.2).abs() < 1e-6, "cost {cost}");
+        for r in &vs.residencies {
+            assert_eq!(r.duration(), 0.0, "no residency should be extended");
+        }
+    }
+
+    #[test]
+    fn free_storage_caches_aggressively() {
+        let mut topo = builders::paper_fig2(16.0, 8.0, 1.0, 5.0);
+        topo.set_uniform_srate(0.0).unwrap();
+        let video =
+            Video::new(VideoId(0), units::gb(2.5), units::minutes(90.0), units::mbps(6.0));
+        let catalog = Catalog::new(vec![video]);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+        let vs = find_video_schedule(&ctx, &fig2_requests());
+        // U1: VW→IS1 ($64.8); U2: cache fill IS1→IS2 ($32.4); U3: free from
+        // IS2's copy. Storage costs nothing.
+        let cost = ctx.video_cost(&vs);
+        assert!((cost - 97.2).abs() < 1e-6, "cost {cost}");
+    }
+
+    #[test]
+    fn rejective_greedy_respects_forbidden_windows() {
+        let (topo, catalog) = fig2();
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+        let ledger = StorageLedger::new(&topo);
+        // Forbid any occupancy at IS1 and IS2 for the whole day: the only
+        // admissible plans are direct deliveries (degenerate caches).
+        let forbidden = vec![
+            (NodeId(1), Interval::new(0.0, 1e6)),
+            (NodeId(2), Interval::new(0.0, 1e6)),
+        ];
+        let cons = Constraints { ledger: &ledger, exclude: Some(VideoId(0)), forbidden: &forbidden };
+        let vs = reschedule_video(&ctx, &fig2_requests(), &cons);
+        let cost = ctx.video_cost(&vs);
+        assert!((cost - 259.2).abs() < 1e-6, "forbidden caching must force direct: {cost}");
+        for r in &vs.residencies {
+            assert_eq!(r.profile(catalog.get(r.video)).peak(), 0.0);
+        }
+    }
+
+    #[test]
+    fn rejective_greedy_respects_capacity() {
+        let (topo, catalog) = fig2();
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+        // Another video already fills IS1 and IS2 completely all day.
+        let mut ledger = StorageLedger::new(&topo);
+        let full = SpaceProfile::new(0.0, 1e6, units::gb(5.0), units::minutes(90.0));
+        ledger.add(NodeId(1), VideoId(9), full);
+        ledger.add(NodeId(2), VideoId(9), full);
+        let cons = Constraints { ledger: &ledger, exclude: Some(VideoId(0)), forbidden: &[] };
+        let vs = reschedule_video(&ctx, &fig2_requests(), &cons);
+        let cost = ctx.video_cost(&vs);
+        assert!((cost - 259.2).abs() < 1e-6, "full stores must force direct: {cost}");
+    }
+
+    #[test]
+    fn rejective_greedy_uses_partial_free_space() {
+        let (topo, catalog) = fig2();
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+        // IS1 blocked, IS2 free: U2/U3 should be served via a cache at IS2
+        // fed through the (blocked-for-storage but fine-for-relay) route.
+        let mut ledger = StorageLedger::new(&topo);
+        ledger.add(
+            NodeId(1),
+            VideoId(9),
+            SpaceProfile::new(0.0, 1e6, units::gb(5.0), units::minutes(90.0)),
+        );
+        let cons = Constraints { ledger: &ledger, exclude: Some(VideoId(0)), forbidden: &[] };
+        let vs = reschedule_video(&ctx, &fig2_requests(), &cons);
+        // U1 direct ($64.8); U2 VW→IS1→IS2 caching at IS2 ($97.2); U3 from
+        // IS2's copy (storage extension only, $5.625).
+        let cost = ctx.video_cost(&vs);
+        assert!((cost - 167.625).abs() < 1e-6, "cost {cost}");
+        let r2 = vs.residencies.iter().find(|r| r.loc == NodeId(2)).unwrap();
+        assert!(r2.duration() > 0.0);
+    }
+
+    #[test]
+    fn reschedule_equals_unconstrained_when_nothing_binds() {
+        let (topo, catalog) = fig2();
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+        let ledger = StorageLedger::new(&topo);
+        let cons = Constraints { ledger: &ledger, exclude: None, forbidden: &[] };
+        let a = find_video_schedule(&ctx, &fig2_requests());
+        let b = reschedule_video(&ctx, &fig2_requests(), &cons);
+        assert!((ctx.video_cost(&a) - ctx.video_cost(&b)).abs() < 1e-9);
+        assert_eq!(a.transfers.len(), b.transfers.len());
+    }
+
+    #[test]
+    fn policy_without_new_caches_degenerates_to_direct() {
+        let (topo, catalog) = fig2();
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+        let policy = GreedyPolicy { allow_new_caches: false, ..Default::default() };
+        let vs = find_video_schedule_with(&ctx, &fig2_requests(), policy);
+        assert!(vs.residencies.is_empty());
+        // All three direct: the paper's S1 at $259.20.
+        assert!((ctx.video_cost(&vs) - 259.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn policy_local_only_placement_never_caches_remotely() {
+        let (topo, catalog) = fig2();
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+        let policy = GreedyPolicy { allow_remote_placement: false, ..Default::default() };
+        let vs = find_video_schedule_with(&ctx, &fig2_requests(), policy);
+        for r in &vs.residencies {
+            let locals: Vec<NodeId> =
+                r.services.iter().map(|s| topo.home_of(s.user)).collect();
+            assert!(locals.contains(&r.loc), "cache at {} serves no local user", r.loc);
+        }
+        // Still at least as cheap as all-direct (local caching helps U3).
+        assert!(ctx.video_cost(&vs) <= 259.2 + 1e-6);
+        // And no cheaper than the unrestricted greedy.
+        let full = ctx.video_cost(&find_video_schedule(&ctx, &fig2_requests()));
+        assert!(ctx.video_cost(&vs) >= full - 1e-6);
+    }
+
+    #[test]
+    fn policy_ordering_default_beats_or_matches_restrictions() {
+        use vod_workload::{CatalogConfig, RequestConfig, Workload};
+        let topo = builders::paper_fig4(&builders::PaperFig4Config::default());
+        let wl = Workload::generate(
+            &topo,
+            &CatalogConfig::small(60),
+            &RequestConfig { requests_per_user: 2, ..RequestConfig::paper() },
+            3,
+        );
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
+        let full = ctx.schedule_cost(&ivsp_solve(&ctx, &wl.requests));
+        for policy in [
+            GreedyPolicy { allow_new_caches: false, ..Default::default() },
+            GreedyPolicy { allow_remote_placement: false, ..Default::default() },
+        ] {
+            let restricted = ctx.schedule_cost(&ivsp_solve_with(&ctx, &wl.requests, policy));
+            assert!(
+                full <= restricted + 1e-6,
+                "restricted policy {policy:?} beat the full greedy: {restricted} < {full}"
+            );
+        }
+    }
+
+    #[test]
+    fn policy_tie_break_variants_stay_within_cost_noise_on_fig2() {
+        // Disabling the local-cache preference changes only tie-breaks,
+        // and with strictly positive storage rates the schedules can
+        // differ; the cost must never get *better* than the default's on
+        // this instance (the default preference is cost-free).
+        let (topo, catalog) = fig2();
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+        let plain = GreedyPolicy { prefer_local_cache_on_ties: false, ..Default::default() };
+        let a = ctx.video_cost(&find_video_schedule(&ctx, &fig2_requests()));
+        let b = ctx.video_cost(&find_video_schedule_with(&ctx, &fig2_requests(), plain));
+        assert!(a <= b + 1e-6, "default tie-break lost: {a} vs {b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty request group")]
+    fn empty_group_panics() {
+        let (topo, catalog) = fig2();
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+        find_video_schedule(&ctx, &[]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Heat metrics for victim selection (paper §4.2–4.3, Eqs. 8–11).
+//!
+//! Rescheduling a victim has a **cost** (the overhead
+//! `Ψ(S_new) − Ψ(S_old)`) and a **benefit** (the improvement of the
+//! overflow situation). *Heat* combines the two; the file with the largest
+//! heat is re-scheduled first. The paper compares four formulations and
+//! finds Eq. 9 and Eq. 11 best, with Eq. 11 winning on average (Table 5 —
+//! reproduced by the `table5` experiment).
+
+use crate::{Interval, Overflow};
+use serde::{Deserialize, Serialize};
+use vod_cost_model::{Dollars, Secs, SpaceProfile};
+
+/// The four victim-selection criteria of §4.3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HeatMetric {
+    /// Eq. 8: the length `X` of the improved period — how much of the
+    /// overflow window this residency's removal relieves.
+    ImprovedPeriod,
+    /// Eq. 9 ("method 2"): improved period per unit overhead cost.
+    PeriodPerCost,
+    /// Eq. 10: the amortized time-space product ΔS reclaimed over the
+    /// overflow window (Eq. 5).
+    TimeSpace,
+    /// Eq. 11 ("method 4"): reclaimed time-space per unit overhead cost —
+    /// the paper's best performer on average.
+    TimeSpacePerCost,
+}
+
+impl HeatMetric {
+    /// All four metrics, in the paper's numbering order (methods 1–4).
+    pub const ALL: [HeatMetric; 4] = [
+        HeatMetric::ImprovedPeriod,
+        HeatMetric::PeriodPerCost,
+        HeatMetric::TimeSpace,
+        HeatMetric::TimeSpacePerCost,
+    ];
+
+    /// The paper's "method k" label (1-based).
+    pub fn method_number(self) -> usize {
+        match self {
+            HeatMetric::ImprovedPeriod => 1,
+            HeatMetric::PeriodPerCost => 2,
+            HeatMetric::TimeSpace => 3,
+            HeatMetric::TimeSpacePerCost => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for HeatMetric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            HeatMetric::ImprovedPeriod => "X (Eq.8)",
+            HeatMetric::PeriodPerCost => "X/overhead (Eq.9)",
+            HeatMetric::TimeSpace => "dS (Eq.10)",
+            HeatMetric::TimeSpacePerCost => "dS/overhead (Eq.11)",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The improved period of rescheduling a residency with profile `p` with
+/// respect to overflow `of` (Eq. 8):
+/// `X = min(t_f^of, t_f^c + P) − max(t_s^of, t_s^c)`, clamped at 0.
+pub fn improved_period(of: &Overflow, p: &SpaceProfile) -> Secs {
+    (of.window.end.min(p.end) - of.window.start.max(p.start)).max(0.0)
+}
+
+/// The improvement window itself (possibly empty).
+pub fn improvement_window(of: &Overflow, p: &SpaceProfile) -> Interval {
+    let start = of.window.start.max(p.start);
+    let end = of.window.end.min(p.end).max(start);
+    Interval::new(start, end)
+}
+
+/// ΔS (Eq. 5): the amortized time-space product reclaimed over the
+/// overflow window by removing the residency with profile `p`.
+pub fn delta_s(of: &Overflow, p: &SpaceProfile) -> f64 {
+    let w = improvement_window(of, p);
+    p.integral_over(w.start, w.end)
+}
+
+/// Heat of rescheduling a residency (old profile `p`) with respect to
+/// overflow `of` at overhead cost `overhead = Ψ(S_new) − Ψ(S_old)`.
+///
+/// The ratio metrics (Eqs. 9/11) treat a non-positive overhead as
+/// infinitely hot: rescheduling that *saves* money while relieving the
+/// overflow is always taken first (the paper notes such cases exist
+/// because phase 1 is a heuristic).
+pub fn heat_of(metric: HeatMetric, of: &Overflow, p: &SpaceProfile, overhead: Dollars) -> f64 {
+    match metric {
+        HeatMetric::ImprovedPeriod => improved_period(of, p),
+        HeatMetric::TimeSpace => delta_s(of, p),
+        HeatMetric::PeriodPerCost => ratio(improved_period(of, p), overhead),
+        HeatMetric::TimeSpacePerCost => ratio(delta_s(of, p), overhead),
+    }
+}
+
+fn ratio(benefit: f64, overhead: Dollars) -> f64 {
+    if overhead <= 0.0 {
+        f64::INFINITY
+    } else {
+        benefit / overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_topology::NodeId;
+
+    fn of(start: Secs, end: Secs) -> Overflow {
+        Overflow { loc: NodeId(1), window: Interval::new(start, end), peak_excess: 1.0 }
+    }
+
+    fn profile(t_s: Secs, t_f: Secs) -> SpaceProfile {
+        SpaceProfile::new(t_s, t_f, 1000.0, 100.0)
+    }
+
+    #[test]
+    fn improved_period_clips_to_both_windows() {
+        // Profile support [50, 200+100); overflow [100, 400).
+        let p = profile(50.0, 200.0);
+        let o = of(100.0, 400.0);
+        // min(400, 300) − max(100, 50) = 200.
+        assert_eq!(improved_period(&o, &p), 200.0);
+    }
+
+    #[test]
+    fn improved_period_zero_when_disjoint() {
+        let p = profile(0.0, 10.0);
+        let o = of(500.0, 600.0);
+        assert_eq!(improved_period(&o, &p), 0.0);
+        assert!(improvement_window(&o, &p).is_empty());
+        assert_eq!(delta_s(&o, &p), 0.0);
+    }
+
+    #[test]
+    fn delta_s_integrates_profile_over_window() {
+        // Long residency [0, 200], plateau 1000; overflow covers the whole
+        // plateau and drain: ΔS = full integral.
+        let p = profile(0.0, 200.0);
+        let o = of(0.0, 1000.0);
+        assert!((delta_s(&o, &p) - p.integral()).abs() < 1e-9);
+        // Overflow covering only [0, 100): ΔS = plateau · 100.
+        let o2 = of(0.0, 100.0);
+        assert!((delta_s(&o2, &p) - 1000.0 * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_metrics_divide_by_overhead() {
+        let p = profile(0.0, 200.0);
+        let o = of(0.0, 100.0);
+        let x = improved_period(&o, &p);
+        let ds = delta_s(&o, &p);
+        assert_eq!(heat_of(HeatMetric::PeriodPerCost, &o, &p, 50.0), x / 50.0);
+        assert_eq!(heat_of(HeatMetric::TimeSpacePerCost, &o, &p, 50.0), ds / 50.0);
+        assert_eq!(heat_of(HeatMetric::ImprovedPeriod, &o, &p, 50.0), x);
+        assert_eq!(heat_of(HeatMetric::TimeSpace, &o, &p, 50.0), ds);
+    }
+
+    #[test]
+    fn free_or_profitable_rescheduling_is_infinitely_hot() {
+        let p = profile(0.0, 200.0);
+        let o = of(0.0, 100.0);
+        assert_eq!(heat_of(HeatMetric::PeriodPerCost, &o, &p, 0.0), f64::INFINITY);
+        assert_eq!(heat_of(HeatMetric::TimeSpacePerCost, &o, &p, -5.0), f64::INFINITY);
+        // Non-ratio metrics ignore overhead entirely.
+        assert!(heat_of(HeatMetric::ImprovedPeriod, &o, &p, -5.0).is_finite());
+    }
+
+    #[test]
+    fn method_numbers_match_the_paper() {
+        assert_eq!(
+            HeatMetric::ALL.map(|m| m.method_number()),
+            [1, 2, 3, 4]
+        );
+        assert_eq!(HeatMetric::TimeSpacePerCost.method_number(), 4);
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(HeatMetric::PeriodPerCost.to_string(), "X/overhead (Eq.9)");
+    }
+}

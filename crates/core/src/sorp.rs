@@ -1,0 +1,377 @@
+//! Phase 2: the Storage Overflow Resolution Problem solver
+//! (`SORP_solve`, paper Table 3 and §4).
+//!
+//! Starting from the integrated phase-1 schedule, the solver repeatedly:
+//!
+//! 1. detects every storage overflow;
+//! 2. for every residency involved in an overflow, trial-reschedules its
+//!    video with the rejective greedy under the constraint that the video
+//!    must not occupy the overflowing storage during the overflow window
+//!    (plus all constraints accumulated from earlier iterations);
+//! 3. commits the candidate with the **largest heat** (the paper's Table 3
+//!    pseudocode reads `heat ≤ minheat`, but the surrounding text states
+//!    three times that the file with the largest heat is selected; we
+//!    follow the text).
+//!
+//! Because the rejective greedy admits a residency only where capacity
+//! remains, a committed reschedule never *creates* an overflow, and the
+//! forbidden-window sets grow monotonically, so the loop terminates. A
+//! deterministic fallback (forcing remaining overflow participants to
+//! direct warehouse delivery, which uses no storage) guards the iteration
+//! cap regardless.
+
+use crate::{
+    detect_overflows, heat_of, overflow_set, reschedule_video, Constraints, HeatMetric, Interval,
+    Overflow, SchedCtx, StorageLedger,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use vod_cost_model::{Dollars, Schedule, SpaceProfile, VideoId, VideoSchedule};
+use vod_topology::NodeId;
+
+/// Sentinel id for occupancy committed outside the schedule being
+/// resolved (e.g. residency drain tails spilling over from a previous
+/// scheduling cycle). Real catalogs never reach this id.
+pub const EXTERNAL_OCCUPANCY: VideoId = VideoId(u32::MAX);
+
+/// Configuration of the resolution phase.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SorpConfig {
+    /// Victim-selection criterion. Default: Eq. 11 (`ΔS/overhead`), the
+    /// paper's best performer.
+    pub metric: HeatMetric,
+    /// Safety cap on resolution iterations before the direct-delivery
+    /// fallback engages. The loop normally terminates far earlier.
+    pub max_iterations: usize,
+}
+
+impl Default for SorpConfig {
+    fn default() -> Self {
+        Self { metric: HeatMetric::TimeSpacePerCost, max_iterations: 10_000 }
+    }
+}
+
+impl SorpConfig {
+    /// Default configuration with a specific heat metric.
+    pub fn with_metric(metric: HeatMetric) -> Self {
+        Self { metric, ..Self::default() }
+    }
+}
+
+/// One committed victim rescheduling.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct VictimRecord {
+    /// The rescheduled video.
+    pub video: VideoId,
+    /// The overflowing storage that triggered the rescheduling.
+    pub loc: NodeId,
+    /// The overflow window the video was banned from.
+    pub window_start: f64,
+    /// End of the banned window.
+    pub window_end: f64,
+    /// Overhead cost `Ψ(S_new) − Ψ(S_old)` of this rescheduling.
+    pub overhead: Dollars,
+    /// The heat value that won the selection.
+    pub heat: f64,
+}
+
+/// Result of [`sorp_solve`].
+#[derive(Clone, Debug)]
+pub struct SorpOutcome {
+    /// The resolved schedule.
+    pub schedule: Schedule,
+    /// Ψ of the resolved schedule.
+    pub cost: Dollars,
+    /// Ψ of the phase-1 input (for the paper's `ΔΨ/Ψ` statistic).
+    pub initial_cost: Dollars,
+    /// Heat-driven resolution iterations performed.
+    pub iterations: usize,
+    /// Every committed victim, in order.
+    pub victims: Vec<VictimRecord>,
+    /// Whether the final schedule is overflow-free (always true unless the
+    /// iteration cap was exhausted *and* the fallback could not finish,
+    /// which cannot happen for finite schedules).
+    pub overflow_free: bool,
+    /// Number of videos forced to all-direct delivery by the fallback.
+    pub forced_fallbacks: usize,
+}
+
+impl SorpOutcome {
+    /// Relative cost increase caused by overflow resolution,
+    /// `(Ψ(S_SORP) − Ψ(S)) / Ψ(S)` — the paper reports 12 % on average and
+    /// 34 % worst-case over its 785-combination sweep.
+    pub fn relative_cost_increase(&self) -> f64 {
+        if self.initial_cost == 0.0 {
+            0.0
+        } else {
+            (self.cost - self.initial_cost) / self.initial_cost
+        }
+    }
+
+    /// Whether resolution changed the schedule at all.
+    pub fn resolved_anything(&self) -> bool {
+        !self.victims.is_empty() || self.forced_fallbacks > 0
+    }
+}
+
+/// Run storage overflow resolution on an integrated schedule.
+pub fn sorp_solve(ctx: &SchedCtx<'_>, initial: &Schedule, cfg: &SorpConfig) -> SorpOutcome {
+    sorp_solve_seeded(ctx, initial, cfg, &[])
+}
+
+/// [`sorp_solve`] with additional immutable occupancy already committed
+/// at the storages — the rolling-horizon case where residencies from a
+/// previous scheduling cycle are still draining when this cycle starts.
+/// External occupancy can never be victimised; an overflow consisting
+/// *only* of external occupancy is unresolvable and leaves
+/// `overflow_free = false`.
+pub fn sorp_solve_seeded(
+    ctx: &SchedCtx<'_>,
+    initial: &Schedule,
+    cfg: &SorpConfig,
+    external: &[(NodeId, SpaceProfile)],
+) -> SorpOutcome {
+    let initial_cost = ctx.schedule_cost(initial);
+    let mut schedule = initial.clone();
+    let mut ledger = StorageLedger::from_schedule(ctx.topo, ctx.catalog, &schedule);
+    for (loc, profile) in external {
+        ledger.add(*loc, EXTERNAL_OCCUPANCY, *profile);
+    }
+    let mut forbidden: HashMap<VideoId, Vec<(NodeId, Interval)>> = HashMap::new();
+    let mut victims = Vec::new();
+    let mut iterations = 0usize;
+    let mut forced_fallbacks = 0usize;
+
+    loop {
+        let overflows = detect_overflows(ctx.topo, &ledger);
+        if overflows.is_empty() {
+            break;
+        }
+        if iterations >= cfg.max_iterations {
+            // Fallback: force one participant of the first overflow to
+            // direct-only delivery. Strictly reduces stored bytes, so this
+            // loop tail terminates.
+            let of = &overflows[0];
+            let set = overflow_set(&schedule, ctx.catalog, of);
+            let Some(victim) = set.first() else {
+                break; // purely external overflow: unresolvable
+            };
+            let vid = victim.video;
+            let old = schedule.video(vid).expect("victim video is scheduled").clone();
+            let new_vs = force_direct(ctx, &old);
+            commit(ctx, &mut schedule, &mut ledger, new_vs);
+            forced_fallbacks += 1;
+            continue;
+        }
+        iterations += 1;
+
+        // Trial-reschedule every overflow participant; keep the hottest.
+        let mut best: Option<(f64, Dollars, VideoId, &Overflow, VideoSchedule)> = None;
+        for of in &overflows {
+            let set = overflow_set(&schedule, ctx.catalog, of);
+            for c in set {
+                let vid = c.video;
+                let old_vs = schedule.video(vid).expect("resident video is scheduled");
+                let requests = old_vs.delivered_requests();
+                if requests.is_empty() {
+                    continue; // residency without deliveries cannot occur
+                }
+                let mut bans = forbidden.get(&vid).cloned().unwrap_or_default();
+                bans.push((of.loc, of.window));
+                let cons =
+                    Constraints { ledger: &ledger, exclude: Some(vid), forbidden: &bans };
+                let new_vs = reschedule_video(ctx, &requests, &cons);
+                let overhead = ctx.video_cost(&new_vs) - ctx.video_cost(old_vs);
+                let profile = c.profile(ctx.catalog.get(vid));
+                let heat = heat_of(cfg.metric, of, &profile, overhead);
+                let better = match &best {
+                    None => true,
+                    Some((bh, boh, bvid, bof, _)) => {
+                        heat > *bh
+                            || (heat == *bh
+                                && (overhead, vid.0, of.loc.0, of.window.start)
+                                    < (*boh, bvid.0, bof.loc.0, bof.window.start))
+                    }
+                };
+                if better {
+                    best = Some((heat, overhead, vid, of, new_vs));
+                }
+            }
+        }
+
+        let Some((heat, overhead, vid, of, new_vs)) = best else {
+            // Every remaining overflow consists purely of external
+            // occupancy: nothing left to reschedule.
+            break;
+        };
+        forbidden.entry(vid).or_default().push((of.loc, of.window));
+        victims.push(VictimRecord {
+            video: vid,
+            loc: of.loc,
+            window_start: of.window.start,
+            window_end: of.window.end,
+            overhead,
+            heat,
+        });
+        commit(ctx, &mut schedule, &mut ledger, new_vs);
+    }
+
+    let cost = ctx.schedule_cost(&schedule);
+    let overflow_free = detect_overflows(ctx.topo, &ledger).is_empty();
+    SorpOutcome {
+        schedule,
+        cost,
+        initial_cost,
+        iterations,
+        victims,
+        overflow_free,
+        forced_fallbacks,
+    }
+}
+
+/// Replace a video's schedule and refresh the ledger.
+fn commit(
+    ctx: &SchedCtx<'_>,
+    schedule: &mut Schedule,
+    ledger: &mut StorageLedger,
+    new_vs: VideoSchedule,
+) {
+    ledger.remove_video(new_vs.video);
+    for r in &new_vs.residencies {
+        ledger.add(r.loc, r.video, r.profile(ctx.catalog.get(r.video)));
+    }
+    schedule.upsert(new_vs);
+}
+
+/// All-direct delivery schedule for a video (no residencies at all).
+fn force_direct(ctx: &SchedCtx<'_>, old: &VideoSchedule) -> VideoSchedule {
+    let mut vs = VideoSchedule::new(old.video);
+    let vw = ctx.topo.warehouse();
+    for req in old.delivered_requests() {
+        let local = ctx.topo.home_of(req.user);
+        vs.transfers
+            .push(vod_cost_model::Transfer::for_user(&req, ctx.routes.path(vw, local)));
+    }
+    vs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ivsp_solve;
+    use vod_cost_model::CostModel;
+    use vod_topology::builders;
+    use vod_workload::{CatalogConfig, RequestConfig, Workload};
+
+    fn run(capacity_gb: f64, seed: u64, metric: HeatMetric) -> (SorpOutcome, Dollars) {
+        let mut cfg = builders::PaperFig4Config::default();
+        cfg.capacity_gb = capacity_gb;
+        let topo = builders::paper_fig4(&cfg);
+        let wl = Workload::generate(&topo, &CatalogConfig::small(80), &RequestConfig::paper(), seed);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
+        let individual = ivsp_solve(&ctx, &wl.requests);
+        let icost = ctx.schedule_cost(&individual);
+        (sorp_solve(&ctx, &individual, &SorpConfig::with_metric(metric)), icost)
+    }
+
+    #[test]
+    fn resolves_all_overflows_on_tight_capacity() {
+        // 5 GB stores hold one ≈3.4 GB file: overflows are certain with 190
+        // requests, and resolution must clear them all.
+        let (outcome, icost) = run(5.0, 1, HeatMetric::TimeSpacePerCost);
+        assert!(outcome.overflow_free);
+        assert_eq!(outcome.forced_fallbacks, 0, "heat loop should finish without fallback");
+        assert!(outcome.resolved_anything(), "tight capacity must force rescheduling");
+        assert!((outcome.initial_cost - icost).abs() < 1e-6);
+        // Resolution cannot make the schedule cheaper than the unconstrained
+        // phase-1 greedy by more than numerical noise… it can make it more
+        // expensive; the paper reports +12 % on average.
+        assert!(outcome.cost >= icost * 0.999, "cost {} vs initial {icost}", outcome.cost);
+    }
+
+    #[test]
+    fn huge_capacity_needs_no_resolution() {
+        let (outcome, icost) = run(10_000.0, 2, HeatMetric::TimeSpacePerCost);
+        assert!(outcome.overflow_free);
+        assert_eq!(outcome.iterations, 0);
+        assert!(!outcome.resolved_anything());
+        assert!((outcome.cost - icost).abs() < 1e-6);
+        assert_eq!(outcome.relative_cost_increase(), 0.0);
+    }
+
+    #[test]
+    fn final_schedule_respects_capacity_everywhere() {
+        let (outcome, _) = run(5.0, 3, HeatMetric::PeriodPerCost);
+        let cfg = builders::PaperFig4Config { capacity_gb: 5.0, ..Default::default() };
+        let topo = builders::paper_fig4(&cfg);
+        // Rebuild the ledger from scratch and re-detect.
+        let wl = Workload::generate(&topo, &CatalogConfig::small(80), &RequestConfig::paper(), 3);
+        let ledger = StorageLedger::from_schedule(&topo, &wl.catalog, &outcome.schedule);
+        assert!(detect_overflows(&topo, &ledger).is_empty());
+    }
+
+    #[test]
+    fn every_request_still_served_after_resolution() {
+        let cfg = builders::PaperFig4Config { capacity_gb: 5.0, ..Default::default() };
+        let topo = builders::paper_fig4(&cfg);
+        let wl = Workload::generate(&topo, &CatalogConfig::small(80), &RequestConfig::paper(), 4);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
+        let individual = ivsp_solve(&ctx, &wl.requests);
+        let outcome = sorp_solve(&ctx, &individual, &SorpConfig::default());
+        assert_eq!(outcome.schedule.delivery_count(), wl.requests.len());
+    }
+
+    #[test]
+    fn all_four_metrics_resolve() {
+        for metric in HeatMetric::ALL {
+            let (outcome, _) = run(5.0, 5, metric);
+            assert!(outcome.overflow_free, "{metric} failed to resolve");
+        }
+    }
+
+    #[test]
+    fn metrics_can_disagree_on_cost() {
+        // Not guaranteed for every seed, but across a few seeds the four
+        // metrics should not always produce identical costs (otherwise the
+        // Table 5 comparison would be vacuous).
+        let mut any_difference = false;
+        for seed in 1..6 {
+            let costs: Vec<Dollars> =
+                HeatMetric::ALL.iter().map(|&m| run(5.0, seed, m).0.cost).collect();
+            if costs.iter().any(|c| (c - costs[0]).abs() > 1e-6) {
+                any_difference = true;
+                break;
+            }
+        }
+        assert!(any_difference, "heat metrics never disagreed across seeds 1–5");
+    }
+
+    #[test]
+    fn victims_are_recorded_with_finite_overhead() {
+        let (outcome, _) = run(5.0, 6, HeatMetric::TimeSpacePerCost);
+        assert!(!outcome.victims.is_empty());
+        for v in &outcome.victims {
+            assert!(v.overhead.is_finite());
+            assert!(v.window_end > v.window_start);
+        }
+    }
+
+    #[test]
+    fn zero_iteration_cap_forces_fallback_but_still_resolves() {
+        let mut cfgb = builders::PaperFig4Config::default();
+        cfgb.capacity_gb = 5.0;
+        let topo = builders::paper_fig4(&cfgb);
+        let wl = Workload::generate(&topo, &CatalogConfig::small(80), &RequestConfig::paper(), 1);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
+        let individual = ivsp_solve(&ctx, &wl.requests);
+        let cfg = SorpConfig { max_iterations: 0, ..SorpConfig::default() };
+        let outcome = sorp_solve(&ctx, &individual, &cfg);
+        assert!(outcome.overflow_free);
+        assert!(outcome.forced_fallbacks > 0);
+        assert_eq!(outcome.iterations, 0);
+        assert_eq!(outcome.schedule.delivery_count(), wl.requests.len());
+    }
+}

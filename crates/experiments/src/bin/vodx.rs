@@ -1,0 +1,185 @@
+//! `vodx` — run the paper's experiments from the command line.
+//!
+//! ```text
+//! vodx <fig5|fig6|fig7|fig8|fig9|table5|gap|bandwidth|cycles|inspect|all>
+//!      [--fast] [--out DIR] [--rpu N]
+//! ```
+//!
+//! Prints each experiment as an aligned text table (the rows the paper
+//! plots) and, with `--out`, also writes CSV/text outputs for replotting.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use vod_experiments::{cycles, ext, figures, render_csv, render_table, table5, EnvParams, Preset};
+use vod_core::{ivsp_solve, sorp_solve, SchedCtx, SorpConfig};
+use vod_cost_model::CostModel;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut preset = Preset::Paper;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut rpu: Option<usize> = None;
+    let mut targets: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fast" => preset = Preset::Fast,
+            "--out" => match it.next() {
+                Some(dir) => out_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--out needs a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--rpu" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => rpu = Some(n),
+                None => {
+                    eprintln!("--rpu needs an integer argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+            target => targets.push(target.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        eprintln!("no experiment given\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = ["fig5", "fig6", "fig7", "fig8", "fig9", "table5", "gap", "bandwidth", "cycles"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    for target in &targets {
+        let started = std::time::Instant::now();
+        match target.as_str() {
+            "inspect" => {
+                let params = EnvParams::for_preset(preset);
+                let (topo, wl) = params.build();
+                let model = CostModel::per_hop();
+                let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
+                let outcome =
+                    sorp_solve(&ctx, &ivsp_solve(&ctx, &wl.requests), &SorpConfig::default());
+                let analysis = vod_simulator::analysis::ScheduleAnalysis::of(
+                    &topo, &wl.catalog, &model, &outcome.schedule,
+                );
+                println!("# Baseline-cell schedule inspection");
+                println!("{}", analysis.render(&topo, 5));
+                let busiest = analysis
+                    .storages
+                    .iter()
+                    .max_by(|a, b| {
+                        a.peak_utilization.partial_cmp(&b.peak_utilization).expect("finite")
+                    })
+                    .expect("storages exist")
+                    .loc;
+                println!(
+                    "{}",
+                    vod_simulator::render::occupancy_timeline(
+                        &topo, &wl.catalog, &outcome.schedule, busiest, 16, 40
+                    )
+                );
+                if let Some(dir) = &out_dir {
+                    let path = dir.join("topology.dot");
+                    if let Err(e) =
+                        std::fs::write(&path, vod_topology::dot::to_dot(&topo))
+                    {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "cycles" => {
+                let params = EnvParams::for_preset(preset);
+                let n = if preset == Preset::Fast { 3 } else { 7 };
+                let r = cycles::rolling_horizon(&params, n);
+                println!("{}", r.render());
+                if let Some(dir) = &out_dir {
+                    let path = dir.join("cycles.txt");
+                    if let Err(e) = std::fs::write(&path, r.render()) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "gap" => {
+                let r = ext::gap(preset);
+                println!("{}", r.render());
+                if let Some(dir) = &out_dir {
+                    let path = dir.join("gap.txt");
+                    if let Err(e) = std::fs::write(&path, r.render()) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "bandwidth" => {
+                let r = ext::bandwidth(preset);
+                println!("{}", r.render());
+                if let Some(dir) = &out_dir {
+                    let path = dir.join("bandwidth.txt");
+                    if let Err(e) = std::fs::write(&path, r.render()) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "table5" => {
+                let r = table5::run_with(preset, rpu);
+                println!("{}", r.render());
+                if let Some(dir) = &out_dir {
+                    let path = dir.join("table5.txt");
+                    if let Err(e) = std::fs::write(&path, r.render()) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            fig => match figures::by_id(fig, preset) {
+                Some(result) => {
+                    println!("{}", render_table(&result));
+                    if let Some(dir) = &out_dir {
+                        let path = dir.join(format!("{fig}.csv"));
+                        if let Err(e) = std::fs::write(&path, render_csv(&result)) {
+                            eprintln!("cannot write {}: {e}", path.display());
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                None => {
+                    eprintln!("unknown experiment {fig}\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+        eprintln!("[{target} done in {:.1}s]", started.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage() -> &'static str {
+    "usage: vodx <fig5|fig6|fig7|fig8|fig9|table5|gap|bandwidth|cycles|inspect|all> [--fast] [--out DIR]\n\
+     \n\
+     Reproduces the evaluation of Won & Srivastava (HPDC 1997).\n\
+     --fast   use reduced grids/workload (smoke run)\n\
+     --out D  additionally write CSV/text outputs into directory D\n\
+     --rpu N  reservations per user per cycle for table5 (default 2)"
+}

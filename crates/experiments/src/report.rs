@@ -1,0 +1,184 @@
+//! Result containers and text/CSV rendering.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One labelled curve: `(x, y)` points in sweep order.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label, e.g. `"srate = 3"` or `"Network only system"`.
+    pub label: String,
+    /// `(x, total cost)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Construct from a label and points.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self { label: label.into(), points }
+    }
+
+    /// Whether `y` is non-decreasing along the sweep.
+    pub fn is_non_decreasing(&self) -> bool {
+        self.points.windows(2).all(|w| w[1].1 >= w[0].1 - 1e-6 * w[0].1.abs())
+    }
+
+    /// Whether `y` is non-increasing along the sweep.
+    pub fn is_non_increasing(&self) -> bool {
+        self.points.windows(2).all(|w| w[1].1 <= w[0].1 + 1e-6 * w[0].1.abs())
+    }
+
+    /// The y value at a given x (exact match).
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points.iter().find(|(px, _)| *px == x).map(|(_, y)| *y)
+    }
+}
+
+/// A reproduced figure: labelled series over a common x axis.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FigureResult {
+    /// Experiment id, e.g. `"fig5"`.
+    pub id: String,
+    /// Human title, mirroring the paper's caption.
+    pub title: String,
+    /// x-axis label.
+    pub x_label: String,
+    /// y-axis label.
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl FigureResult {
+    /// Find a series by label.
+    pub fn series(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+}
+
+/// Render a figure as an aligned text table (x in the first column, one
+/// column per series) — the same rows the paper plots.
+pub fn render_table(fig: &FigureResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {} — {}", fig.id, fig.title);
+    let _ = writeln!(out, "# y: {}", fig.y_label);
+
+    let width = fig
+        .series
+        .iter()
+        .map(|s| s.label.len())
+        .chain(std::iter::once(fig.x_label.len()))
+        .max()
+        .unwrap_or(14)
+        + 2;
+    let _ = write!(out, "{:>width$}", fig.x_label);
+    for s in &fig.series {
+        let _ = write!(out, "{:>width$}", s.label);
+    }
+    let _ = writeln!(out);
+
+    let xs: Vec<f64> = fig.series.first().map(|s| s.points.iter().map(|p| p.0).collect()).unwrap_or_default();
+    for (i, x) in xs.iter().enumerate() {
+        let _ = write!(out, "{:>width$.3}", x);
+        for s in &fig.series {
+            match s.points.get(i) {
+                Some(&(_, y)) => {
+                    let _ = write!(out, "{:>width$.1}", y);
+                }
+                None => {
+                    let _ = write!(out, "{:>width$}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Render a figure as CSV: header `x,label1,label2,…`.
+pub fn render_csv(fig: &FigureResult) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{}", csv_escape(&fig.x_label));
+    for s in &fig.series {
+        let _ = write!(out, ",{}", csv_escape(&s.label));
+    }
+    let _ = writeln!(out);
+    let xs: Vec<f64> =
+        fig.series.first().map(|s| s.points.iter().map(|p| p.0).collect()).unwrap_or_default();
+    for (i, x) in xs.iter().enumerate() {
+        let _ = write!(out, "{x}");
+        for s in &fig.series {
+            match s.points.get(i) {
+                Some(&(_, y)) => {
+                    let _ = write!(out, ",{y}");
+                }
+                None => out.push(','),
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> FigureResult {
+        FigureResult {
+            id: "figX".into(),
+            title: "Test figure".into(),
+            x_label: "x".into(),
+            y_label: "cost".into(),
+            series: vec![
+                Series::new("a", vec![(1.0, 10.0), (2.0, 20.0)]),
+                Series::new("b", vec![(1.0, 30.0), (2.0, 25.0)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn monotonicity_helpers() {
+        let f = fig();
+        assert!(f.series("a").unwrap().is_non_decreasing());
+        assert!(!f.series("a").unwrap().is_non_increasing());
+        assert!(f.series("b").unwrap().is_non_increasing());
+        assert_eq!(f.series("a").unwrap().y_at(2.0), Some(20.0));
+        assert_eq!(f.series("a").unwrap().y_at(9.0), None);
+        assert!(f.series("nope").is_none());
+    }
+
+    #[test]
+    fn table_contains_all_labels_and_values() {
+        let t = render_table(&fig());
+        assert!(t.contains("figX"));
+        assert!(t.contains('a'));
+        assert!(t.contains('b'));
+        assert!(t.contains("10.0"));
+        assert!(t.contains("25.0"));
+    }
+
+    #[test]
+    fn csv_round_trips_values() {
+        let c = render_csv(&fig());
+        let mut lines = c.lines();
+        assert_eq!(lines.next().unwrap(), "x,a,b");
+        assert_eq!(lines.next().unwrap(), "1,10,30");
+        assert_eq!(lines.next().unwrap(), "2,20,25");
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("q\"q"), "\"q\"\"q\"");
+    }
+}

@@ -1,0 +1,187 @@
+//! The discrete-event core: typed events and a time-ordered queue.
+
+use vod_cost_model::{Secs, VideoId};
+use vod_topology::NodeId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens at an event instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A stream (transfer) begins flowing along its route.
+    StreamStart {
+        /// Index into the flattened transfer list.
+        transfer: usize,
+    },
+    /// A stream finishes (playback length after its start).
+    StreamEnd {
+        /// Index into the flattened transfer list.
+        transfer: usize,
+    },
+    /// A residency starts copying blocks at its storage (`t_s`).
+    CacheFillStart {
+        /// Index into the flattened residency list.
+        residency: usize,
+    },
+    /// The copy reaches its plateau (only distinct from the fill start
+    /// under the gradual-fill space model).
+    CacheFillComplete {
+        /// Index into the flattened residency list.
+        residency: usize,
+    },
+    /// The residency's plateau ends (`t_f`): the last service begins and
+    /// the copy starts draining.
+    CacheDrainStart {
+        /// Index into the flattened residency list.
+        residency: usize,
+    },
+    /// The copy is fully drained (`t_f + P`); space returns to zero.
+    CacheDrainEnd {
+        /// Index into the flattened residency list.
+        residency: usize,
+    },
+}
+
+/// A scheduled event.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// When the event fires.
+    pub time: Secs,
+    /// The affected video (for tracing).
+    pub video: VideoId,
+    /// The storage most relevant to the event (fill/drain location, or the
+    /// stream's source).
+    pub node: NodeId,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Deterministic secondary ordering so simultaneous events replay in a
+    /// stable order: by discriminant (starts before ends at equal times is
+    /// NOT assumed — order is purely for determinism), then video, node.
+    fn key(&self) -> (u8, u32, u32, usize) {
+        let (d, idx) = match self.kind {
+            EventKind::StreamStart { transfer } => (0, transfer),
+            EventKind::CacheFillStart { residency } => (1, residency),
+            EventKind::CacheFillComplete { residency } => (2, residency),
+            EventKind::CacheDrainStart { residency } => (3, residency),
+            EventKind::StreamEnd { transfer } => (4, transfer),
+            EventKind::CacheDrainEnd { residency } => (5, residency),
+        };
+        (d, self.video.0, self.node.0, idx)
+    }
+}
+
+/// Min-heap of events ordered by `(time, deterministic key)`.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<HeapItem>,
+}
+
+#[derive(Debug)]
+struct HeapItem(Event);
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .0
+            .time
+            .partial_cmp(&self.0.time)
+            .expect("event times are finite")
+            .then_with(|| other.0.key().cmp(&self.0.key()))
+    }
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule an event.
+    pub fn push(&mut self, e: Event) {
+        assert!(e.time.is_finite(), "event time must be finite");
+        self.heap.push(HeapItem(e));
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|h| h.0)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is drained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: Secs, kind: EventKind) -> Event {
+        Event { time, video: VideoId(0), node: NodeId(0), kind }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(ev(5.0, EventKind::StreamStart { transfer: 0 }));
+        q.push(ev(1.0, EventKind::StreamStart { transfer: 1 }));
+        q.push(ev(3.0, EventKind::StreamEnd { transfer: 1 }));
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(times, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn simultaneous_events_order_deterministically() {
+        let make = || {
+            let mut q = EventQueue::new();
+            q.push(ev(2.0, EventKind::StreamEnd { transfer: 7 }));
+            q.push(ev(2.0, EventKind::StreamStart { transfer: 3 }));
+            q.push(ev(2.0, EventKind::CacheFillStart { residency: 1 }));
+            std::iter::from_fn(move || q.pop()).map(|e| e.kind).collect::<Vec<_>>()
+        };
+        let a = make();
+        let b = make();
+        assert_eq!(a, b);
+        // Starts sort before ends at the same instant.
+        assert_eq!(a[0], EventKind::StreamStart { transfer: 3 });
+        assert_eq!(a[2], EventKind::StreamEnd { transfer: 7 });
+    }
+
+    #[test]
+    fn len_and_is_empty_track_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(ev(1.0, EventKind::StreamStart { transfer: 0 }));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_time_rejected() {
+        EventQueue::new().push(ev(f64::NAN, EventKind::StreamStart { transfer: 0 }));
+    }
+}

@@ -1,0 +1,302 @@
+//! Structural schedule validation: request coverage, route existence,
+//! data availability at stream sources, and residency feeds.
+
+use crate::report::Violation;
+use vod_cost_model::{RequestBatch, Schedule};
+use vod_topology::Topology;
+
+/// Run every structural check, appending failures to `out`.
+pub fn structural_checks(
+    topo: &Topology,
+    schedule: &Schedule,
+    requests: Option<&RequestBatch>,
+    out: &mut Vec<Violation>,
+) {
+    check_routes(topo, schedule, out);
+    check_sources(topo, schedule, out);
+    check_residency_feeds(schedule, out);
+    if let Some(batch) = requests {
+        check_coverage(topo, schedule, batch, out);
+    }
+}
+
+/// Every request must receive exactly one delivery, ending at the user's
+/// local storage at the reserved time.
+fn check_coverage(
+    topo: &Topology,
+    schedule: &Schedule,
+    batch: &RequestBatch,
+    out: &mut Vec<Violation>,
+) {
+    use std::collections::HashMap;
+    // Key includes the start time bit pattern: a user may reserve the same
+    // video twice at different times.
+    let mut wanted: HashMap<(u32, u32, u64), usize> = HashMap::new();
+    for r in batch.iter() {
+        *wanted.entry((r.user.0, r.video.0, r.start.to_bits())).or_insert(0) += 1;
+    }
+    for t in schedule.transfers() {
+        let Some(user) = t.user else { continue };
+        let expected = topo.home_of(user);
+        if t.dst() != expected {
+            out.push(Violation::WrongDestination { user, got: t.dst(), expected });
+        }
+        match wanted.get_mut(&(user.0, t.video.0, t.start.to_bits())) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => out.push(Violation::DuplicateDelivery { user, video: t.video }),
+        }
+    }
+    for ((user, video, start), n) in wanted {
+        for _ in 0..n {
+            out.push(Violation::MissingDelivery {
+                user: vod_topology::UserId(user),
+                video: vod_cost_model::VideoId(video),
+                start: f64::from_bits(start),
+            });
+        }
+    }
+}
+
+/// Every consecutive route pair must be an actual link.
+fn check_routes(topo: &Topology, schedule: &Schedule, out: &mut Vec<Violation>) {
+    for t in schedule.transfers() {
+        for hop in t.route.windows(2) {
+            if topo.edge_between(hop[0], hop[1]).is_none() {
+                out.push(Violation::BrokenRoute { video: t.video, from: hop[0], to: hop[1] });
+            }
+        }
+    }
+}
+
+/// A stream may only originate at the warehouse or at a storage holding a
+/// residency of its video whose interval covers the stream start.
+fn check_sources(topo: &Topology, schedule: &Schedule, out: &mut Vec<Violation>) {
+    for vs in schedule.videos() {
+        for t in &vs.transfers {
+            let src = t.src();
+            if topo.is_warehouse(src) {
+                continue;
+            }
+            let covered = vs.residencies.iter().any(|r| {
+                r.loc == src && r.start <= t.start && t.start <= r.last_service
+            });
+            if !covered {
+                out.push(Violation::SourceHasNoData { video: t.video, src, start: t.start });
+            }
+        }
+    }
+}
+
+/// Every residency must be fed by a stream of its video that starts at the
+/// caching start, passes the hosting storage, and arrives from the
+/// residency's declared source.
+fn check_residency_feeds(schedule: &Schedule, out: &mut Vec<Violation>) {
+    for vs in schedule.videos() {
+        for r in &vs.residencies {
+            let fed = vs.transfers.iter().any(|t| {
+                if t.start != r.start {
+                    return false;
+                }
+                let Some(loc_pos) = t.route.iter().position(|&n| n == r.loc) else {
+                    return false;
+                };
+                // The declared source must be on the route at or before
+                // the hosting storage.
+                t.route[..=loc_pos].contains(&r.src) || r.src == r.loc
+            });
+            if !fed {
+                out.push(Violation::ResidencyWithoutFeed {
+                    video: r.video,
+                    loc: r.loc,
+                    start: r.start,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_cost_model::{Request, Residency, Transfer, Video, VideoId, VideoSchedule};
+    use vod_topology::{builders, units, NodeId, UserId};
+
+    fn topo() -> Topology {
+        builders::paper_fig2(16.0, 8.0, 1.0, 5.0)
+    }
+
+    fn video() -> Video {
+        Video::new(VideoId(0), units::gb(2.5), units::minutes(90.0), units::mbps(6.0))
+    }
+
+    fn req(user: u32, start: f64) -> Request {
+        Request { user: UserId(user), video: VideoId(0), start }
+    }
+
+    fn batch(reqs: Vec<Request>) -> RequestBatch {
+        RequestBatch::new(reqs)
+    }
+
+    fn run(schedule: &Schedule, b: Option<&RequestBatch>) -> Vec<Violation> {
+        let mut out = Vec::new();
+        structural_checks(&topo(), schedule, b, &mut out);
+        out
+    }
+
+    #[test]
+    fn valid_direct_schedule_passes() {
+        let t = topo();
+        let _v = video();
+        let r = req(0, 100.0);
+        let mut vs = VideoSchedule::new(VideoId(0));
+        vs.transfers.push(Transfer {
+            video: VideoId(0),
+            route: vec![t.warehouse(), NodeId(1)],
+            start: 100.0,
+            user: Some(UserId(0)),
+        });
+        let mut s = Schedule::new();
+        s.upsert(vs);
+        assert!(run(&s, Some(&batch(vec![r]))).is_empty());
+    }
+
+    #[test]
+    fn missing_delivery_detected() {
+        let s = Schedule::new();
+        let v = run(&s, Some(&batch(vec![req(0, 100.0)])));
+        assert!(matches!(v[0], Violation::MissingDelivery { user: UserId(0), .. }));
+    }
+
+    #[test]
+    fn duplicate_delivery_detected() {
+        let t = topo();
+        let mut vs = VideoSchedule::new(VideoId(0));
+        for _ in 0..2 {
+            vs.transfers.push(Transfer {
+                video: VideoId(0),
+                route: vec![t.warehouse(), NodeId(1)],
+                start: 100.0,
+                user: Some(UserId(0)),
+            });
+        }
+        let mut s = Schedule::new();
+        s.upsert(vs);
+        let v = run(&s, Some(&batch(vec![req(0, 100.0)])));
+        assert!(v.iter().any(|x| matches!(x, Violation::DuplicateDelivery { .. })));
+    }
+
+    #[test]
+    fn wrong_destination_detected() {
+        let t = topo();
+        // User 0 lives at IS1 but the stream terminates at IS2.
+        let mut vs = VideoSchedule::new(VideoId(0));
+        vs.transfers.push(Transfer {
+            video: VideoId(0),
+            route: vec![t.warehouse(), NodeId(1), NodeId(2)],
+            start: 100.0,
+            user: Some(UserId(0)),
+        });
+        let mut s = Schedule::new();
+        s.upsert(vs);
+        let v = run(&s, Some(&batch(vec![req(0, 100.0)])));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::WrongDestination { got: NodeId(2), .. })));
+    }
+
+    #[test]
+    fn broken_route_detected() {
+        let t = topo();
+        // VW and IS2 are not directly connected in the fig2 line topology.
+        let mut vs = VideoSchedule::new(VideoId(0));
+        vs.transfers.push(Transfer {
+            video: VideoId(0),
+            route: vec![t.warehouse(), NodeId(2)],
+            start: 100.0,
+            user: None,
+        });
+        let mut s = Schedule::new();
+        s.upsert(vs);
+        let v = run(&s, None);
+        assert!(matches!(v[0], Violation::BrokenRoute { from: NodeId(0), to: NodeId(2), .. }));
+    }
+
+    #[test]
+    fn source_without_data_detected() {
+        // Stream claims to come from IS1 but no residency covers it there.
+        let mut vs = VideoSchedule::new(VideoId(0));
+        vs.transfers.push(Transfer {
+            video: VideoId(0),
+            route: vec![NodeId(1), NodeId(2)],
+            start: 100.0,
+            user: None,
+        });
+        let mut s = Schedule::new();
+        s.upsert(vs);
+        let v = run(&s, None);
+        assert!(matches!(v[0], Violation::SourceHasNoData { src: NodeId(1), .. }));
+    }
+
+    #[test]
+    fn cache_source_with_covering_residency_passes() {
+        let t = topo();
+        let mut vs = VideoSchedule::new(VideoId(0));
+        // Fill stream at t=50 creates the copy at IS1…
+        vs.transfers.push(Transfer {
+            video: VideoId(0),
+            route: vec![t.warehouse(), NodeId(1)],
+            start: 50.0,
+            user: Some(UserId(0)),
+        });
+        // …and a later stream serves from it.
+        vs.transfers.push(Transfer {
+            video: VideoId(0),
+            route: vec![NodeId(1), NodeId(2)],
+            start: 100.0,
+            user: Some(UserId(1)),
+        });
+        let mut r = Residency::begin(NodeId(1), t.warehouse(), req(0, 50.0));
+        r.extend(req(1, 100.0));
+        vs.residencies.push(r);
+        let mut s = Schedule::new();
+        s.upsert(vs);
+        assert!(run(&s, None).is_empty());
+    }
+
+    #[test]
+    fn unfed_residency_detected() {
+        let t = topo();
+        let mut vs = VideoSchedule::new(VideoId(0));
+        // A residency with no transfer passing IS1 at its start.
+        vs.residencies.push(Residency::begin(NodeId(1), t.warehouse(), req(0, 500.0)));
+        let mut s = Schedule::new();
+        s.upsert(vs);
+        let v = run(&s, None);
+        assert!(matches!(v[0], Violation::ResidencyWithoutFeed { loc: NodeId(1), .. }));
+    }
+
+    #[test]
+    fn stream_after_last_service_is_flagged() {
+        let t = topo();
+        let mut vs = VideoSchedule::new(VideoId(0));
+        vs.transfers.push(Transfer {
+            video: VideoId(0),
+            route: vec![t.warehouse(), NodeId(1)],
+            start: 50.0,
+            user: Some(UserId(0)),
+        });
+        // Residency's last service is at 50; pulling from it at 9999 is
+        // reading dropped blocks.
+        vs.transfers.push(Transfer {
+            video: VideoId(0),
+            route: vec![NodeId(1), NodeId(2)],
+            start: 9_999.0,
+            user: Some(UserId(1)),
+        });
+        vs.residencies.push(Residency::begin(NodeId(1), t.warehouse(), req(0, 50.0)));
+        let mut s = Schedule::new();
+        s.upsert(vs);
+        let v = run(&s, None);
+        assert!(v.iter().any(|x| matches!(x, Violation::SourceHasNoData { .. })));
+    }
+}

@@ -1,0 +1,86 @@
+//! Graphviz DOT export for topologies.
+//!
+//! `dot -Tsvg topo.dot -o topo.svg` renders the service environment with
+//! the warehouse as a double circle, storages labelled with their srate
+//! and capacity, and edges labelled with their per-GB charging rate.
+
+use crate::{units, NodeKind, Topology};
+use std::fmt::Write as _;
+
+/// Render the topology in Graphviz DOT syntax.
+pub fn to_dot(topo: &Topology) -> String {
+    let mut out = String::from("graph service_topology {\n");
+    let _ = writeln!(out, "    layout=neato;");
+    let _ = writeln!(out, "    overlap=false;");
+    let _ = writeln!(out, "    node [fontsize=10];");
+    for n in topo.nodes() {
+        let info = topo.node(n);
+        match info.kind {
+            NodeKind::Warehouse => {
+                let _ = writeln!(
+                    out,
+                    "    n{} [label=\"{}\", shape=doublecircle, style=filled, fillcolor=gold];",
+                    n.0, info.name
+                );
+            }
+            NodeKind::Storage => {
+                let users = topo.users_at(n).len();
+                let _ = writeln!(
+                    out,
+                    "    n{} [label=\"{}\\n{:.0} GB, {} users\", shape=box, style=rounded];",
+                    n.0,
+                    info.name,
+                    info.capacity / units::GB,
+                    users
+                );
+            }
+        }
+    }
+    for e in topo.edges() {
+        let rate_per_gb = e.nrate * units::GB;
+        let bw = match e.bandwidth {
+            Some(b) => format!(", {:.0} Mbps", b / units::MEGABIT),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "    n{} -- n{} [label=\"{:.0}$/GB{}\"];",
+            e.a.0, e.b.0, rate_per_gb, bw
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let t = builders::paper_fig4(&builders::PaperFig4Config::default());
+        let dot = to_dot(&t);
+        assert!(dot.starts_with("graph service_topology {"));
+        assert!(dot.trim_end().ends_with('}'));
+        for n in t.nodes() {
+            assert!(dot.contains(&format!("n{} [", n.0)), "missing node n{}", n.0);
+        }
+        assert_eq!(dot.matches(" -- ").count(), t.edge_count());
+        assert!(dot.contains("doublecircle"), "warehouse styling missing");
+        assert!(dot.contains("10 users"));
+    }
+
+    #[test]
+    fn dot_labels_carry_rates_and_bandwidth() {
+        let mut b = crate::TopologyBuilder::new();
+        let vw = b.add_warehouse("VW");
+        let is = b.add_storage("IS", 0.0, units::gb(5.0));
+        b.connect_with_bandwidth(vw, is, units::nrate_per_gb(250.0), Some(units::mbps(40.0)))
+            .unwrap();
+        let t = b.build().unwrap();
+        let dot = to_dot(&t);
+        assert!(dot.contains("250$/GB"), "{dot}");
+        assert!(dot.contains("40 Mbps"), "{dot}");
+    }
+}

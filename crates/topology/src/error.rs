@@ -1,0 +1,76 @@
+//! Errors raised while constructing or querying a topology.
+
+use crate::NodeId;
+use std::fmt;
+
+/// Validation failures detected by
+/// [`TopologyBuilder::build`](crate::TopologyBuilder::build) or by topology
+/// mutators.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TopologyError {
+    /// The topology has no video warehouse node.
+    MissingWarehouse,
+    /// More than one warehouse was added; the paper's model has exactly one
+    /// permanent archive.
+    MultipleWarehouses,
+    /// The graph is not connected: the given node cannot be reached from the
+    /// warehouse, so requests from its neighborhood could never be served.
+    Disconnected(NodeId),
+    /// An edge references a node id that was never added.
+    UnknownNode(NodeId),
+    /// A self-loop edge was requested.
+    SelfLoop(NodeId),
+    /// A duplicate edge between the same pair of nodes.
+    DuplicateEdge(NodeId, NodeId),
+    /// A charging rate, capacity, or bandwidth was negative or NaN.
+    InvalidRate {
+        /// Human-readable description of the offending quantity.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// Users were attached to the warehouse; users live in IS neighborhoods.
+    UsersAtWarehouse,
+    /// The topology has no intermediate storage at all.
+    NoStorages,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MissingWarehouse => write!(f, "topology has no video warehouse"),
+            Self::MultipleWarehouses => {
+                write!(f, "topology has more than one video warehouse")
+            }
+            Self::Disconnected(n) => {
+                write!(f, "node {n} is unreachable from the video warehouse")
+            }
+            Self::UnknownNode(n) => write!(f, "edge references unknown node {n}"),
+            Self::SelfLoop(n) => write!(f, "self-loop edge at node {n}"),
+            Self::DuplicateEdge(a, b) => write!(f, "duplicate edge between {a} and {b}"),
+            Self::InvalidRate { what, value } => {
+                write!(f, "invalid {what}: {value} (must be finite and >= 0)")
+            }
+            Self::UsersAtWarehouse => {
+                write!(f, "users must be attached to intermediate storages, not the warehouse")
+            }
+            Self::NoStorages => write!(f, "topology has no intermediate storage"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TopologyError::Disconnected(NodeId(4));
+        assert!(e.to_string().contains("n4"));
+        let e = TopologyError::InvalidRate { what: "srate", value: -1.0 };
+        assert!(e.to_string().contains("srate"));
+        assert!(e.to_string().contains("-1"));
+    }
+}

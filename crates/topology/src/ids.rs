@@ -1,0 +1,98 @@
+//! Strongly-typed identifiers for topology entities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node in the service topology (the video warehouse or an
+/// intermediate storage). Node ids are dense indices assigned by
+/// [`TopologyBuilder`](crate::TopologyBuilder) in insertion order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index into dense per-node tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of an end user. Users are dense indices assigned in insertion
+/// order; each user is attached to exactly one intermediate storage (its
+/// *local* storage, in the paper's terminology: the IS in the same
+/// neighborhood).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UserId(pub u32);
+
+impl UserId {
+    /// The id as a `usize` index into dense per-user tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// The role of a node in the service environment.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// The video warehouse: permanent archive of all video files. Storing a
+    /// file here is free (the paper sets `srate(VW) = 0`) and its capacity
+    /// is unbounded.
+    Warehouse,
+    /// An intermediate storage: a finite-capacity cache co-located with a
+    /// neighborhood of users, charged at `srate` $/(byte·s).
+    Storage,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_formats_compactly() {
+        assert_eq!(format!("{}", NodeId(3)), "n3");
+        assert_eq!(format!("{:?}", NodeId(3)), "n3");
+    }
+
+    #[test]
+    fn user_id_formats_compactly() {
+        assert_eq!(format!("{}", UserId(7)), "u7");
+        assert_eq!(format!("{:?}", UserId(7)), "u7");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(UserId(0) < UserId(10));
+    }
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(NodeId(42).index(), 42);
+        assert_eq!(UserId(42).index(), 42);
+    }
+}

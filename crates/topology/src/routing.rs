@@ -1,0 +1,326 @@
+//! Cheapest-route computation over per-byte network charging rates.
+//!
+//! The scheduler repeatedly asks "what does it cost to ship one byte from
+//! node `a` to node `b`, and along which hops?" (paper §3.2 step 3: when a
+//! new intermediate storage is introduced, the scheduler must compute the
+//! network transmission cost of transferring the file there). Since the
+//! evaluation topologies are small (20 nodes) and rates are static per
+//! scheduling cycle, we precompute all-pairs cheapest routes with one
+//! Dijkstra per source.
+
+use crate::{NodeId, Topology};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A concrete route: the node sequence `n_src, …, n_dst` (inclusive) plus
+/// its per-byte charging rate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Route {
+    /// Nodes along the route, source first, destination last. A route from
+    /// a node to itself is the single-element sequence.
+    pub nodes: Vec<NodeId>,
+    /// Total charging rate in $/byte (sum of hop `nrate`s).
+    pub rate: f64,
+}
+
+impl Route {
+    /// Number of hops (edges) on the route.
+    pub fn hop_count(&self) -> usize {
+        self.nodes.len().saturating_sub(1)
+    }
+
+    /// Source node.
+    pub fn src(&self) -> NodeId {
+        *self.nodes.first().expect("route is never empty")
+    }
+
+    /// Destination node.
+    pub fn dst(&self) -> NodeId {
+        *self.nodes.last().expect("route is never empty")
+    }
+}
+
+/// All-pairs cheapest routes by per-byte rate.
+#[derive(Clone, Debug)]
+pub struct RouteTable {
+    n: usize,
+    /// `rate[src * n + dst]` in $/byte.
+    rate: Vec<f64>,
+    /// `next[src * n + dst]`: the first hop on the cheapest route.
+    next: Vec<Option<NodeId>>,
+}
+
+/// Max-heap entry ordered so the *smallest* cost pops first.
+struct HeapEntry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost == other.cost && self.node == other.node
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse on cost for a min-heap; break ties on node id so the
+        // ordering is total (costs are finite, never NaN: validated rates).
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl RouteTable {
+    /// Run Dijkstra from every node over the edge `nrate`s.
+    ///
+    /// Ties between equal-rate routes break toward fewer hops and then
+    /// lower node ids so the result is deterministic.
+    pub fn build(topo: &Topology) -> Self {
+        let n = topo.node_count();
+        let mut rate = vec![f64::INFINITY; n * n];
+        let mut next: Vec<Option<NodeId>> = vec![None; n * n];
+
+        // hops[dst] used for deterministic tie-breaking within one source.
+        let mut hops = vec![u32::MAX; n];
+
+        for src in topo.nodes() {
+            let base = src.index() * n;
+            let dist = &mut rate[base..base + n];
+            let first_hop = &mut next[base..base + n];
+            hops.iter_mut().for_each(|h| *h = u32::MAX);
+
+            dist[src.index()] = 0.0;
+            hops[src.index()] = 0;
+            let mut heap = BinaryHeap::new();
+            heap.push(HeapEntry { cost: 0.0, node: src });
+
+            while let Some(HeapEntry { cost, node }) = heap.pop() {
+                if cost > dist[node.index()] {
+                    continue; // stale entry
+                }
+                for &(nb, eidx) in topo.neighbors(node) {
+                    let e = &topo.edges()[eidx];
+                    let cand = cost + e.nrate;
+                    let cand_hops = hops[node.index()] + 1;
+                    let cur = dist[nb.index()];
+                    let better = cand < cur
+                        || (cand == cur && cand_hops < hops[nb.index()])
+                        || (cand == cur
+                            && cand_hops == hops[nb.index()]
+                            && first_hop_for(first_hop, node, src, nb)
+                                < first_hop[nb.index()].map_or(u32::MAX, |h| h.0));
+                    if better {
+                        dist[nb.index()] = cand;
+                        hops[nb.index()] = cand_hops;
+                        first_hop[nb.index()] = if node == src {
+                            Some(nb)
+                        } else {
+                            first_hop[node.index()]
+                        };
+                        heap.push(HeapEntry { cost: cand, node: nb });
+                    }
+                }
+            }
+        }
+
+        Self { n, rate, next }
+    }
+
+    /// Per-byte rate of the cheapest route from `a` to `b` ($ /byte).
+    /// Zero when `a == b`.
+    #[inline]
+    pub fn rate(&self, a: NodeId, b: NodeId) -> f64 {
+        self.rate[a.index() * self.n + b.index()]
+    }
+
+    /// Reconstruct the cheapest route from `a` to `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is unreachable from `a`; [`Topology`] construction
+    /// guarantees connectivity, so this only fires on mismatched tables.
+    pub fn path(&self, a: NodeId, b: NodeId) -> Route {
+        let mut nodes = vec![a];
+        let mut cur = a;
+        while cur != b {
+            let hop = self.next[cur.index() * self.n + b.index()]
+                .expect("destination unreachable: route table does not match topology");
+            nodes.push(hop);
+            cur = hop;
+        }
+        Route { nodes, rate: self.rate(a, b) }
+    }
+
+    /// Number of nodes the table was built for.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+}
+
+/// Tie-break helper: the first hop the tentative route to `nb` would take.
+fn first_hop_for(first_hop: &[Option<NodeId>], via: NodeId, src: NodeId, nb: NodeId) -> u32 {
+    if via == src {
+        nb.0
+    } else {
+        first_hop[via.index()].map_or(u32::MAX, |h| h.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TopologyBuilder, units};
+
+    /// VW -(3)- IS1 -(1)- IS2, plus a direct VW -(5)- IS2 shortcut that is
+    /// more expensive than the two-hop route.
+    fn diamond() -> (Topology, NodeId, NodeId, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let vw = b.add_warehouse("VW");
+        let is1 = b.add_storage("IS1", 0.0, units::gb(5.0));
+        let is2 = b.add_storage("IS2", 0.0, units::gb(5.0));
+        b.connect(vw, is1, 3.0).unwrap();
+        b.connect(is1, is2, 1.0).unwrap();
+        b.connect(vw, is2, 5.0).unwrap();
+        (b.build().unwrap(), vw, is1, is2)
+    }
+
+    use crate::Topology;
+
+    #[test]
+    fn self_route_is_free_and_trivial() {
+        let (t, vw, ..) = diamond();
+        let rt = RouteTable::build(&t);
+        assert_eq!(rt.rate(vw, vw), 0.0);
+        let p = rt.path(vw, vw);
+        assert_eq!(p.nodes, vec![vw]);
+        assert_eq!(p.hop_count(), 0);
+    }
+
+    #[test]
+    fn picks_cheaper_multi_hop_over_expensive_direct() {
+        let (t, vw, is1, is2) = diamond();
+        let rt = RouteTable::build(&t);
+        assert_eq!(rt.rate(vw, is2), 4.0); // 3 + 1 beats direct 5
+        let p = rt.path(vw, is2);
+        assert_eq!(p.nodes, vec![vw, is1, is2]);
+        assert_eq!(p.rate, 4.0);
+        assert_eq!(p.src(), vw);
+        assert_eq!(p.dst(), is2);
+    }
+
+    #[test]
+    fn routes_are_symmetric_in_rate() {
+        let (t, vw, is1, is2) = diamond();
+        let rt = RouteTable::build(&t);
+        for &a in &[vw, is1, is2] {
+            for &b in &[vw, is1, is2] {
+                assert_eq!(rt.rate(a, b), rt.rate(b, a), "rate({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn equal_cost_tie_breaks_to_fewer_hops() {
+        // VW -(2)- IS1, VW -(1)- IS2 -(1)- IS1: both routes cost 2; the
+        // direct single-hop route must win.
+        let mut b = TopologyBuilder::new();
+        let vw = b.add_warehouse("VW");
+        let is1 = b.add_storage("IS1", 0.0, 1.0);
+        let is2 = b.add_storage("IS2", 0.0, 1.0);
+        b.connect(vw, is1, 2.0).unwrap();
+        b.connect(vw, is2, 1.0).unwrap();
+        b.connect(is2, is1, 1.0).unwrap();
+        let t = b.build().unwrap();
+        let rt = RouteTable::build(&t);
+        assert_eq!(rt.rate(vw, is1), 2.0);
+        assert_eq!(rt.path(vw, is1).nodes, vec![vw, is1]);
+    }
+
+    #[test]
+    fn free_links_route_correctly() {
+        let mut b = TopologyBuilder::new();
+        let vw = b.add_warehouse("VW");
+        let is1 = b.add_storage("IS1", 0.0, 1.0);
+        let is2 = b.add_storage("IS2", 0.0, 1.0);
+        b.connect(vw, is1, 0.0).unwrap();
+        b.connect(is1, is2, 0.0).unwrap();
+        let t = b.build().unwrap();
+        let rt = RouteTable::build(&t);
+        assert_eq!(rt.rate(vw, is2), 0.0);
+        assert_eq!(rt.path(vw, is2).hop_count(), 2);
+    }
+
+    /// Brute-force all simple paths on a small graph and compare the
+    /// cheapest rate with Dijkstra's answer.
+    #[test]
+    fn matches_brute_force_enumeration() {
+        let mut b = TopologyBuilder::new();
+        let vw = b.add_warehouse("VW");
+        let n: Vec<NodeId> = (0..4).map(|i| b.add_storage(format!("IS{i}"), 0.0, 1.0)).collect();
+        // An irregular little mesh.
+        b.connect(vw, n[0], 2.5).unwrap();
+        b.connect(vw, n[1], 1.0).unwrap();
+        b.connect(n[0], n[1], 0.5).unwrap();
+        b.connect(n[1], n[2], 2.0).unwrap();
+        b.connect(n[0], n[2], 3.5).unwrap();
+        b.connect(n[2], n[3], 0.25).unwrap();
+        b.connect(n[1], n[3], 4.0).unwrap();
+        let t = b.build().unwrap();
+        let rt = RouteTable::build(&t);
+
+        fn brute(t: &Topology, cur: NodeId, dst: NodeId, seen: &mut Vec<NodeId>, cost: f64, best: &mut f64) {
+            if cur == dst {
+                *best = best.min(cost);
+                return;
+            }
+            for &(nb, e) in t.neighbors(cur) {
+                if !seen.contains(&nb) {
+                    seen.push(nb);
+                    brute(t, nb, dst, seen, cost + t.edges()[e].nrate, best);
+                    seen.pop();
+                }
+            }
+        }
+
+        for a in t.nodes() {
+            for bnode in t.nodes() {
+                let mut best = f64::INFINITY;
+                let mut seen = vec![a];
+                brute(&t, a, bnode, &mut seen, 0.0, &mut best);
+                assert!(
+                    (rt.rate(a, bnode) - best).abs() < 1e-12,
+                    "rate({a},{bnode}): dijkstra={} brute={}",
+                    rt.rate(a, bnode),
+                    best
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_rate_equals_sum_of_hop_rates() {
+        let (t, ..) = diamond();
+        let rt = RouteTable::build(&t);
+        for a in t.nodes() {
+            for b in t.nodes() {
+                let p = rt.path(a, b);
+                let sum: f64 = p
+                    .nodes
+                    .windows(2)
+                    .map(|w| t.edge_between(w[0], w[1]).expect("hop must be an edge").nrate)
+                    .sum();
+                assert!((sum - p.rate).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Unit conversions between the paper's "arbitrary charging units" and the
+//! base units used internally (bytes, seconds, dollars).
+//!
+//! The paper (Table 4) quotes network charging rates "per GByte" and storage
+//! charging rates "per GByte·sec"-ish without committing to a real tariff;
+//! §5.1 explicitly says the values stand in for an arbitrary charging
+//! system. We fix the following interpretable convention, chosen so that the
+//! worked example of Fig. 2 reproduces to the cent (see the `vod-cost-model`
+//! golden tests):
+//!
+//! * `nrate` is quoted in **$/GB per hop** (or end-to-end),
+//! * `srate` is quoted in **$/(GB·hour)**.
+
+/// One gigabyte, in bytes (decimal convention, matching the paper's
+/// "2.5 Giga Bytes" arithmetic).
+pub const GB: f64 = 1_000_000_000.0;
+
+/// One megabit, in bytes (used for bandwidth figures quoted in Mbps).
+pub const MEGABIT: f64 = 1_000_000.0 / 8.0;
+
+/// Seconds per hour.
+pub const HOUR: f64 = 3_600.0;
+
+/// Seconds per minute.
+pub const MINUTE: f64 = 60.0;
+
+/// Convert a network charging rate quoted in $/GB into $/byte.
+#[inline]
+pub fn nrate_per_gb(dollars_per_gb: f64) -> f64 {
+    dollars_per_gb / GB
+}
+
+/// Convert a storage charging rate quoted in $/(GB·hour) into $/(byte·s).
+#[inline]
+pub fn srate_per_gb_hour(dollars_per_gb_hour: f64) -> f64 {
+    dollars_per_gb_hour / GB / HOUR
+}
+
+/// Convert a bandwidth quoted in Mbps into bytes/s.
+#[inline]
+pub fn mbps(megabits_per_second: f64) -> f64 {
+    megabits_per_second * MEGABIT
+}
+
+/// Convert a size quoted in GB into bytes.
+#[inline]
+pub fn gb(gigabytes: f64) -> f64 {
+    gigabytes * GB
+}
+
+/// Convert a duration quoted in minutes into seconds.
+#[inline]
+pub fn minutes(m: f64) -> f64 {
+    m * MINUTE
+}
+
+/// Convert a duration quoted in hours into seconds.
+#[inline]
+pub fn hours(h: f64) -> f64 {
+    h * HOUR
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gigabyte_is_decimal() {
+        assert_eq!(GB, 1e9);
+        assert_eq!(gb(2.5), 2.5e9);
+    }
+
+    #[test]
+    fn mbps_converts_bits_to_bytes() {
+        // 8 Mbps == 1 MB/s
+        assert_eq!(mbps(8.0), 1_000_000.0);
+    }
+
+    #[test]
+    fn nrate_round_trip() {
+        // $300/GB, applied to 1 GB, is $300.
+        let r = nrate_per_gb(300.0);
+        assert!((r * GB - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn srate_round_trip() {
+        // $1/(GB·h) applied to 2.5 GB for 3.75 h is $9.375 — the storage
+        // cost in the paper's Fig. 2 schedule S2.
+        let r = srate_per_gb_hour(1.0);
+        let cost = r * gb(2.5) * hours(3.75);
+        assert!((cost - 9.375).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_helpers() {
+        assert_eq!(minutes(90.0), 5_400.0);
+        assert_eq!(hours(1.5), 5_400.0);
+    }
+}

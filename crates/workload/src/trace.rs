@@ -1,0 +1,258 @@
+//! Trace import/export: catalogs and request batches as plain CSV, so
+//! synthetic workloads can be archived, inspected, or replaced with real
+//! reservation traces.
+//!
+//! Formats (headered, comma-separated, `#`-prefixed comment lines
+//! ignored):
+//!
+//! ```text
+//! # catalog
+//! video_id,size_bytes,playback_secs,bandwidth_bps
+//! 0,3375000000,5400,625000
+//!
+//! # requests
+//! user_id,video_id,start_secs
+//! 17,4,51234.5
+//! ```
+
+use std::fmt::Write as _;
+use vod_cost_model::{Catalog, Request, RequestBatch, Video, VideoId};
+use vod_topology::UserId;
+
+/// Errors raised while parsing a trace.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceError {
+    /// The header row is missing or does not match the expected columns.
+    BadHeader {
+        /// What the parser expected.
+        expected: &'static str,
+        /// What the file contained.
+        got: String,
+    },
+    /// A data row has the wrong number of fields or an unparsable value.
+    BadRow {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Description of the problem.
+        problem: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadHeader { expected, got } => {
+                write!(f, "bad header: expected `{expected}`, got `{got}`")
+            }
+            Self::BadRow { line, problem } => write!(f, "line {line}: {problem}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+const CATALOG_HEADER: &str = "video_id,size_bytes,playback_secs,bandwidth_bps";
+const REQUEST_HEADER: &str = "user_id,video_id,start_secs";
+
+/// Serialise a catalog as CSV.
+pub fn catalog_to_csv(catalog: &Catalog) -> String {
+    let mut out = String::from(CATALOG_HEADER);
+    out.push('\n');
+    for v in catalog.iter() {
+        let _ = writeln!(out, "{},{},{},{}", v.id.0, v.size, v.playback, v.bandwidth);
+    }
+    out
+}
+
+/// Parse a catalog from CSV. Videos must appear in dense id order.
+pub fn catalog_from_csv(text: &str) -> Result<Catalog, TraceError> {
+    let mut videos = Vec::new();
+    let mut saw_header = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if !saw_header {
+            if line != CATALOG_HEADER {
+                return Err(TraceError::BadHeader {
+                    expected: CATALOG_HEADER,
+                    got: line.to_string(),
+                });
+            }
+            saw_header = true;
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 4 {
+            return Err(TraceError::BadRow {
+                line: i + 1,
+                problem: format!("expected 4 fields, got {}", fields.len()),
+            });
+        }
+        let parse_f = |s: &str, what: &str| -> Result<f64, TraceError> {
+            s.trim().parse().map_err(|_| TraceError::BadRow {
+                line: i + 1,
+                problem: format!("unparsable {what}: `{s}`"),
+            })
+        };
+        let id: u32 = fields[0].trim().parse().map_err(|_| TraceError::BadRow {
+            line: i + 1,
+            problem: format!("unparsable video id: `{}`", fields[0]),
+        })?;
+        if id as usize != videos.len() {
+            return Err(TraceError::BadRow {
+                line: i + 1,
+                problem: format!("video ids must be dense; expected {}, got {id}", videos.len()),
+            });
+        }
+        videos.push(Video::new(
+            VideoId(id),
+            parse_f(fields[1], "size")?,
+            parse_f(fields[2], "playback")?,
+            parse_f(fields[3], "bandwidth")?,
+        ));
+    }
+    if !saw_header {
+        return Err(TraceError::BadHeader { expected: CATALOG_HEADER, got: String::new() });
+    }
+    Ok(Catalog::new(videos))
+}
+
+/// Serialise a request batch as CSV (video-major order, chronological
+/// within each video — the batch's canonical order).
+pub fn requests_to_csv(batch: &RequestBatch) -> String {
+    let mut out = String::from(REQUEST_HEADER);
+    out.push('\n');
+    for r in batch.iter() {
+        let _ = writeln!(out, "{},{},{}", r.user.0, r.video.0, r.start);
+    }
+    out
+}
+
+/// Parse a request batch from CSV (any row order; the batch re-sorts).
+pub fn requests_from_csv(text: &str) -> Result<RequestBatch, TraceError> {
+    let mut requests = Vec::new();
+    let mut saw_header = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if !saw_header {
+            if line != REQUEST_HEADER {
+                return Err(TraceError::BadHeader {
+                    expected: REQUEST_HEADER,
+                    got: line.to_string(),
+                });
+            }
+            saw_header = true;
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 3 {
+            return Err(TraceError::BadRow {
+                line: i + 1,
+                problem: format!("expected 3 fields, got {}", fields.len()),
+            });
+        }
+        let user: u32 = fields[0].trim().parse().map_err(|_| TraceError::BadRow {
+            line: i + 1,
+            problem: format!("unparsable user id: `{}`", fields[0]),
+        })?;
+        let video: u32 = fields[1].trim().parse().map_err(|_| TraceError::BadRow {
+            line: i + 1,
+            problem: format!("unparsable video id: `{}`", fields[1]),
+        })?;
+        let start: f64 = fields[2].trim().parse().map_err(|_| TraceError::BadRow {
+            line: i + 1,
+            problem: format!("unparsable start time: `{}`", fields[2]),
+        })?;
+        if !start.is_finite() {
+            return Err(TraceError::BadRow {
+                line: i + 1,
+                problem: format!("non-finite start time: `{}`", fields[2]),
+            });
+        }
+        requests.push(Request { user: UserId(user), video: VideoId(video), start });
+    }
+    if !saw_header {
+        return Err(TraceError::BadHeader { expected: REQUEST_HEADER, got: String::new() });
+    }
+    Ok(RequestBatch::new(requests))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_catalog, generate_requests, CatalogConfig, RequestConfig};
+    use vod_topology::builders::{paper_fig4, PaperFig4Config};
+
+    #[test]
+    fn catalog_round_trips() {
+        let c = generate_catalog(&CatalogConfig::small(25), 3);
+        let csv = catalog_to_csv(&c);
+        let back = catalog_from_csv(&csv).unwrap();
+        assert_eq!(back.len(), c.len());
+        for (a, b) in c.iter().zip(back.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.size, b.size);
+            assert_eq!(a.playback, b.playback);
+            assert_eq!(a.bandwidth, b.bandwidth);
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let topo = paper_fig4(&PaperFig4Config::default());
+        let c = generate_catalog(&CatalogConfig::small(25), 3);
+        let batch = generate_requests(&topo, &c, &RequestConfig::paper(), 5);
+        let csv = requests_to_csv(&batch);
+        let back = requests_from_csv(&csv).unwrap();
+        assert_eq!(back.len(), batch.len());
+        let a: Vec<_> = batch.iter().map(|r| (r.user, r.video, r.start)).collect();
+        let b: Vec<_> = back.iter().map(|r| (r.user, r.video, r.start)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let csv = format!(
+            "# a comment\n\n{REQUEST_HEADER}\n# another\n3,1,42.5\n\n"
+        );
+        let batch = requests_from_csv(&csv).unwrap();
+        assert_eq!(batch.len(), 1);
+        let r = batch.iter().next().unwrap();
+        assert_eq!((r.user.0, r.video.0, r.start), (3, 1, 42.5));
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        let err = requests_from_csv("user,video,when\n1,2,3\n").unwrap_err();
+        assert!(matches!(err, TraceError::BadHeader { .. }));
+        let err = catalog_from_csv("").unwrap_err();
+        assert!(matches!(err, TraceError::BadHeader { .. }));
+    }
+
+    #[test]
+    fn bad_rows_report_line_numbers() {
+        let err =
+            requests_from_csv(&format!("{REQUEST_HEADER}\n1,2\n")).unwrap_err();
+        match err {
+            TraceError::BadRow { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        let err =
+            requests_from_csv(&format!("{REQUEST_HEADER}\n1,2,NaN\n")).unwrap_err();
+        assert!(matches!(err, TraceError::BadRow { .. }));
+        let err = requests_from_csv(&format!("{REQUEST_HEADER}\nx,2,3\n")).unwrap_err();
+        assert!(err.to_string().contains("user id"));
+    }
+
+    #[test]
+    fn sparse_catalog_ids_rejected() {
+        let csv = format!("{CATALOG_HEADER}\n1,10,20,30\n");
+        let err = catalog_from_csv(&csv).unwrap_err();
+        assert!(err.to_string().contains("dense"));
+    }
+}

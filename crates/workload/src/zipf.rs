@@ -1,0 +1,187 @@
+//! Zipf popularity distribution in the Dan–Sitaram parameterisation.
+//!
+//! The paper (§5, Table 4) draws video choices from a Zipf distribution
+//! with parameter α ∈ {0.1, 0.271, 0.5, 0.7} and notes that *"larger α
+//! implies a less biased distribution"*. That matches the
+//! parameterisation of Dan & Sitaram (IBM RC 19347, cited as [5]):
+//!
+//! ```text
+//! p_i ∝ 1 / i^(1−α),   i = 1..n
+//! ```
+//!
+//! so `α = 0` is the classic Zipf law (exponent 1) and `α = 1` is uniform.
+//! `α = 0.271` approximates commercial video-rental popularity.
+
+use crate::SplitMix64;
+
+/// Sampler over ranks `0..n` with Dan–Sitaram Zipf weights.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative distribution, `cdf[i] = P(rank ≤ i)`; last entry is 1.
+    cdf: Vec<f64>,
+    alpha: f64,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with skew parameter `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha` is not in `[0, 1]` (the paper's
+    /// parameter range; exponent `1 − α` must stay non-negative).
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(
+            (0.0..=1.0).contains(&alpha),
+            "alpha must lie in [0, 1], got {alpha}"
+        );
+        let exponent = 1.0 - alpha;
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += (i as f64).powf(-exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating point shortfall at the tail.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Self { cdf, alpha }
+    }
+
+    /// The skew parameter α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false: the constructor rejects `n == 0`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Probability of rank `i` (0-based; rank 0 is the most popular).
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Draw a rank (0-based) from the distribution.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        // First index whose cdf strictly exceeds u.
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &alpha in &[0.0, 0.1, 0.271, 0.5, 0.7, 1.0] {
+            let z = Zipf::new(500, alpha);
+            let sum: f64 = (0..z.len()).map(|i| z.pmf(i)).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "alpha {alpha}: pmf sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn alpha_zero_is_classic_zipf() {
+        let z = Zipf::new(100, 0.0);
+        // p_1 / p_2 = 2 under the classic law.
+        assert!((z.pmf(0) / z.pmf(1) - 2.0).abs() < 1e-9);
+        // p_1 / p_10 = 10.
+        assert!((z.pmf(0) / z.pmf(9) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_one_is_uniform() {
+        let z = Zipf::new(50, 1.0);
+        for i in 0..50 {
+            assert!((z.pmf(i) - 0.02).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn larger_alpha_is_less_biased() {
+        // The paper's stated convention: the head probability must shrink
+        // as α grows.
+        let head: Vec<f64> =
+            [0.1, 0.271, 0.5, 0.7].iter().map(|&a| Zipf::new(500, a).pmf(0)).collect();
+        for w in head.windows(2) {
+            assert!(w[0] > w[1], "head probabilities not decreasing: {head:?}");
+        }
+    }
+
+    #[test]
+    fn pmf_is_monotone_decreasing_in_rank() {
+        let z = Zipf::new(200, 0.271);
+        for i in 1..200 {
+            assert!(z.pmf(i - 1) >= z.pmf(i));
+        }
+    }
+
+    #[test]
+    fn sample_frequencies_match_pmf() {
+        let z = Zipf::new(20, 0.271);
+        let mut rng = SplitMix64::new(31337);
+        let n = 200_000;
+        let mut counts = vec![0usize; 20];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for i in 0..20 {
+            let expected = z.pmf(i) * n as f64;
+            let got = counts[i] as f64;
+            // 5 sigma of a binomial.
+            let sigma = (expected * (1.0 - z.pmf(i))).sqrt();
+            assert!(
+                (got - expected).abs() < 5.0 * sigma + 1.0,
+                "rank {i}: got {got}, expected {expected} (σ {sigma})"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_is_deterministic() {
+        let z = Zipf::new(100, 0.5);
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(1);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn single_rank_always_sampled() {
+        let z = Zipf::new(1, 0.5);
+        let mut rng = SplitMix64::new(0);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+        assert_eq!(z.pmf(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        Zipf::new(0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must lie in [0, 1]")]
+    fn out_of_range_alpha_rejected() {
+        Zipf::new(10, 1.5);
+    }
+}

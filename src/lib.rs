@@ -1,0 +1,42 @@
+//! # vod-paradigm
+//!
+//! Facade crate for the reproduction of Won & Srivastava, *"Distributed
+//! Service Paradigm for Remote Video Retrieval Request"* (HPDC 1997).
+//!
+//! The workspace implements the paper's full system:
+//!
+//! * [`topology`] — the distributed service environment: one video
+//!   warehouse, intermediate storages with charging rates and capacities,
+//!   charged network links, neighborhoods of users, and cheapest-route
+//!   computation.
+//! * [`cost_model`] — service schedules (network transfers + file
+//!   residencies) and the cost mapping Ψ (paper §2).
+//! * [`workload`] — video catalogs and Zipf-distributed Video-On-
+//!   Reservation request batches (paper §5, Table 4).
+//! * [`core`] — the contribution: the two-phase scheduler (individual
+//!   video scheduling + storage overflow resolution with heat-based victim
+//!   selection, paper §3–4) and baselines.
+//! * [`simulator`] — discrete-event execution/validation of schedules.
+//! * [`experiments`] — the harness regenerating every figure and table of
+//!   the paper's evaluation (§5).
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use vod_core as core;
+pub use vod_cost_model as cost_model;
+pub use vod_experiments as experiments;
+pub use vod_simulator as simulator;
+pub use vod_topology as topology;
+pub use vod_workload as workload;
+
+/// Commonly used items, importable as `use vod_paradigm::prelude::*`.
+pub mod prelude {
+    pub use vod_cost_model::{
+        Catalog, ChargingBasis, CostModel, Request, RequestBatch, Residency, Schedule, Transfer,
+        Video, VideoId, VideoSchedule,
+    };
+    pub use vod_topology::{builders, units, NodeId, RouteTable, Topology, TopologyBuilder, UserId};
+}
