@@ -34,10 +34,8 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("backbone_multiplier");
     g.sample_size(10);
     for mult in [1.0, 2.0, 4.0] {
-        let topo = paper_fig4(&PaperFig4Config {
-            backbone_rate_multiplier: mult,
-            ..Default::default()
-        });
+        let topo =
+            paper_fig4(&PaperFig4Config { backbone_rate_multiplier: mult, ..Default::default() });
         let wl = Workload::generate(
             &topo,
             &CatalogConfig::small(120),
@@ -74,10 +72,7 @@ fn bench(c: &mut Criterion) {
         let policies: [(&str, GreedyPolicy); 4] = [
             ("full", GreedyPolicy::default()),
             ("no_new_caches", GreedyPolicy { allow_new_caches: false, ..Default::default() }),
-            (
-                "local_only",
-                GreedyPolicy { allow_remote_placement: false, ..Default::default() },
-            ),
+            ("local_only", GreedyPolicy { allow_remote_placement: false, ..Default::default() }),
             (
                 "no_tie_pref",
                 GreedyPolicy { prefer_local_cache_on_ties: false, ..Default::default() },
@@ -88,9 +83,7 @@ fn bench(c: &mut Criterion) {
             // as the ablation table.
             let cost = ctx.schedule_cost(&ivsp_solve_with(&ctx, &fx.requests, policy));
             println!("greedy_policy/{name}: phase-1 cost = {cost:.0}");
-            g.bench_function(name, |b| {
-                b.iter(|| ivsp_solve_with(&ctx, &fx.requests, policy))
-            });
+            g.bench_function(name, |b| b.iter(|| ivsp_solve_with(&ctx, &fx.requests, policy)));
         }
         g.finish();
     }
@@ -107,7 +100,8 @@ fn bench(c: &mut Criterion) {
         ] {
             let priced = CostModel::per_hop().with_space_model(model);
             let ctx = SchedCtx::new(&fx.topo, &priced, &fx.catalog);
-            let cost = sorp_solve(&ctx, &ivsp_solve(&ctx, &fx.requests), &SorpConfig::default()).cost;
+            let cost =
+                sorp_solve(&ctx, &ivsp_solve(&ctx, &fx.requests), &SorpConfig::default()).cost;
             println!("space_model/{name}: resolved cost = {cost:.0}");
             g.bench_function(name, |b| b.iter(|| two_phase_cost(&ctx, &fx.requests)));
         }

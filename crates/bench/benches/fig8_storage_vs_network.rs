@@ -13,11 +13,8 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig8_cell");
     g.sample_size(10);
     for (srate, nrate) in [(0.0, 300.0), (150.0, 500.0), (300.0, 900.0)] {
-        let params = EnvParams {
-            srate_per_gb_hour: srate,
-            nrate_per_gb: nrate,
-            ..EnvParams::fast()
-        };
+        let params =
+            EnvParams { srate_per_gb_hour: srate, nrate_per_gb: nrate, ..EnvParams::fast() };
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("s{srate}_n{nrate}")),
             &params,

@@ -5,7 +5,8 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use vod_bench::Fixture;
 use vod_core::{
-    baselines, detect_overflows, find_video_schedule, ivsp_solve, sorp_solve, SorpConfig,
+    baselines, detect_overflows, find_video_schedule, ivsp_solve, ivsp_solve_priced,
+    ivsp_solve_with_mode, sorp_solve, sorp_solve_priced, ExecMode, GreedyPolicy, SorpConfig,
     StorageLedger,
 };
 use vod_simulator::{simulate, SimOptions};
@@ -15,22 +16,30 @@ fn bench(c: &mut Criterion) {
     let fx = Fixture::paper_baseline();
     let ctx = fx.ctx();
 
-    c.bench_function("route_table_build_20_nodes", |b| {
-        b.iter(|| RouteTable::build(&fx.topo))
-    });
+    c.bench_function("route_table_build_20_nodes", |b| b.iter(|| RouteTable::build(&fx.topo)));
 
     // The busiest single-video group in the batch.
-    let (_, biggest) = fx
-        .requests
-        .groups()
-        .max_by_key(|(_, g)| g.len())
-        .expect("batch is non-empty");
-    c.bench_function(
-        &format!("find_video_schedule_{}_requests", biggest.len()),
-        |b| b.iter(|| find_video_schedule(&ctx, biggest)),
-    );
+    let (_, biggest) =
+        fx.requests.groups().max_by_key(|(_, g)| g.len()).expect("batch is non-empty");
+    c.bench_function(&format!("find_video_schedule_{}_requests", biggest.len()), |b| {
+        b.iter(|| find_video_schedule(&ctx, biggest))
+    });
 
     c.bench_function("ivsp_solve_full_batch", |b| b.iter(|| ivsp_solve(&ctx, &fx.requests)));
+
+    // Same phase-1 work under both execution modes (bit-identical output;
+    // the gap is the parallel fan-out overhead or speedup).
+    c.bench_function("ivsp_solve_sequential", |b| {
+        b.iter(|| {
+            ivsp_solve_with_mode(&ctx, &fx.requests, GreedyPolicy::default(), ExecMode::Sequential)
+        })
+    });
+    c.bench_function("ivsp_solve_parallel", |b| {
+        b.iter(|| {
+            ivsp_solve_with_mode(&ctx, &fx.requests, GreedyPolicy::default(), ExecMode::Parallel)
+        })
+    });
+    c.bench_function("ivsp_solve_priced", |b| b.iter(|| ivsp_solve_priced(&ctx, &fx.requests)));
 
     let phase1 = fx.phase1();
     c.bench_function("ledger_from_schedule", |b| {
@@ -46,6 +55,22 @@ fn bench(c: &mut Criterion) {
         b.iter_batched(
             || phase1.clone(),
             |p1| sorp_solve(&ctx, &p1, &SorpConfig::default()),
+            BatchSize::LargeInput,
+        )
+    });
+    // The incremental-pricing path, sequential vs parallel trial fan-out.
+    let priced = fx.phase1_priced();
+    g.bench_function("priced_sequential", |b| {
+        b.iter_batched(
+            || priced.clone(),
+            |p1| sorp_solve_priced(&ctx, p1, &SorpConfig::default(), &[], ExecMode::Sequential),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("priced_parallel", |b| {
+        b.iter_batched(
+            || priced.clone(),
+            |p1| sorp_solve_priced(&ctx, p1, &SorpConfig::default(), &[], ExecMode::Parallel),
             BatchSize::LargeInput,
         )
     });

@@ -5,7 +5,7 @@
 //! once, then timing the per-cell scheduling pipeline that produces them —
 //! plus micro- and ablation benches for the scheduler itself.
 
-use vod_core::{ivsp_solve, SchedCtx};
+use vod_core::{ivsp_solve, ivsp_solve_priced, PricedSchedule, SchedCtx};
 use vod_cost_model::{Catalog, CostModel, RequestBatch, Schedule};
 use vod_topology::builders::{paper_fig4, PaperFig4Config};
 use vod_topology::Topology;
@@ -50,6 +50,12 @@ impl Fixture {
     /// Phase-1 schedule for this fixture.
     pub fn phase1(&self) -> Schedule {
         ivsp_solve(&self.ctx(), &self.requests)
+    }
+
+    /// Phase-1 schedule with its pricing memo, ready for
+    /// [`vod_core::sorp_solve_priced`].
+    pub fn phase1_priced(&self) -> PricedSchedule {
+        ivsp_solve_priced(&self.ctx(), &self.requests)
     }
 }
 

@@ -97,8 +97,7 @@ pub fn detect_link_overloads(
         let Some(capacity) = topo.edges()[edge].bandwidth else { continue };
         let steps = load.steps();
         let mut open: Option<(Secs, f64)> = None;
-        for i in 0..steps.len() {
-            let (t, l) = steps[i];
+        for &(t, l) in &steps {
             let over = l > capacity * (1.0 + 1e-9);
             match (&mut open, over) {
                 (None, true) => open = Some((t, l - capacity)),
@@ -201,8 +200,7 @@ mod tests {
         let greedy = ivsp_solve(&ctx, &wl.requests);
         let direct = baselines::network_only(&ctx, &wl.requests);
         assert!(
-            total_network_bytes(&wl.catalog, &greedy)
-                <= total_network_bytes(&wl.catalog, &direct)
+            total_network_bytes(&wl.catalog, &greedy) <= total_network_bytes(&wl.catalog, &direct)
         );
     }
 }

@@ -26,8 +26,8 @@
 use crate::{SchedCtx, StorageLedger};
 use std::collections::BTreeMap;
 use vod_cost_model::{
-    Dollars, Request, RequestBatch, Residency, Schedule, Secs, SpaceProfile, Transfer,
-    VideoId, VideoSchedule,
+    Dollars, Request, RequestBatch, Residency, Schedule, Secs, SpaceProfile, Transfer, VideoId,
+    VideoSchedule,
 };
 use vod_topology::{NodeId, Topology};
 
@@ -82,8 +82,7 @@ impl LinkLedger {
         bw: f64,
     ) -> bool {
         route.windows(2).all(|hop| {
-            let Some((_, edge)) = topo.neighbors(hop[0]).iter().find(|(n, _)| *n == hop[1])
-            else {
+            let Some((_, edge)) = topo.neighbors(hop[0]).iter().find(|(n, _)| *n == hop[1]) else {
                 return false;
             };
             match topo.edges()[*edge].bandwidth {
@@ -94,7 +93,14 @@ impl LinkLedger {
     }
 
     /// Commit a stream along a route.
-    pub fn commit_route(&mut self, topo: &Topology, route: &[NodeId], t0: Secs, dur: Secs, bw: f64) {
+    pub fn commit_route(
+        &mut self,
+        topo: &Topology,
+        route: &[NodeId],
+        t0: Secs,
+        dur: Secs,
+        bw: f64,
+    ) {
         for hop in route.windows(2) {
             let (_, edge) = topo
                 .neighbors(hop[0])
@@ -288,8 +294,7 @@ pub fn bandwidth_aware_solve(ctx: &SchedCtx<'_>, batch: &RequestBatch) -> Bandwi
                     );
                     // Admission uses the paper's instant-reservation
                     // profile — the space a disk must guarantee up front.
-                    let reserve =
-                        SpaceProfile::new(r.start, req.start, video.size, video.playback);
+                    let reserve = SpaceProfile::new(r.start, req.start, video.size, video.playback);
                     if !storage.fits(topo, src, &reserve, None) {
                         continue;
                     }
@@ -304,7 +309,13 @@ pub fn bandwidth_aware_solve(ctx: &SchedCtx<'_>, batch: &RequestBatch) -> Bandwi
             if let Some((route, rate)) =
                 constrained_cheapest_path(topo, &links, src, local, req.start, dur, bw)
             {
-                let priority = if src == local { 1 } else if src == vw { 4 } else { 2 };
+                let priority = if src == local {
+                    1
+                } else if src == vw {
+                    4
+                } else {
+                    2
+                };
                 consider(
                     Cand { cost: amortized * rate + ext, priority, src, route, new_cache: None },
                     &mut best,
@@ -353,7 +364,9 @@ pub fn bandwidth_aware_solve(ctx: &SchedCtx<'_>, batch: &RequestBatch) -> Bandwi
             // Replace the profile in the storage ledger with the extension.
             r.extend(req);
             storage.remove_video(req.video);
-            for ((_, _), res) in caches.range((req.video, NodeId(0))..=(req.video, NodeId(u32::MAX))) {
+            for ((_, _), res) in
+                caches.range((req.video, NodeId(0))..=(req.video, NodeId(u32::MAX)))
+            {
                 let p = res.profile(video);
                 storage.add(res.loc, req.video, p);
             }
@@ -400,7 +413,6 @@ mod tests {
         (topo, wl)
     }
 
-
     #[test]
     fn unlimited_links_block_nothing() {
         let (topo, wl) = world(None, 1);
@@ -411,8 +423,9 @@ mod tests {
         assert_eq!(out.schedule.delivery_count(), wl.requests.len());
         assert_eq!(out.blocking_probability(wl.requests.len()), 0.0);
         // Feasible under both detectors.
-        assert!(crate::bandwidth::detect_link_overloads(&topo, &wl.catalog, &out.schedule)
-            .is_empty());
+        assert!(
+            crate::bandwidth::detect_link_overloads(&topo, &wl.catalog, &out.schedule).is_empty()
+        );
     }
 
     #[test]
@@ -422,17 +435,13 @@ mod tests {
         let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
         let out = bandwidth_aware_solve(&ctx, &wl.requests);
         assert!(
-            crate::bandwidth::detect_link_overloads(&topo, &wl.catalog, &out.schedule)
-                .is_empty(),
+            crate::bandwidth::detect_link_overloads(&topo, &wl.catalog, &out.schedule).is_empty(),
             "bandwidth-aware schedule must not overload links"
         );
         // Storage is respected too.
         let ledger = StorageLedger::from_schedule(&topo, &wl.catalog, &out.schedule);
         assert!(crate::detect_overflows(&topo, &ledger).is_empty());
-        assert_eq!(
-            out.schedule.delivery_count() + out.blocked.len(),
-            wl.requests.len()
-        );
+        assert_eq!(out.schedule.delivery_count() + out.blocked.len(), wl.requests.len());
     }
 
     #[test]
@@ -445,8 +454,9 @@ mod tests {
         let out = bandwidth_aware_solve(&ctx, &wl.requests);
         assert!(!out.blocked.is_empty(), "one-stream links must block someone");
         assert!(out.blocking_probability(wl.requests.len()) > 0.0);
-        assert!(crate::bandwidth::detect_link_overloads(&topo, &wl.catalog, &out.schedule)
-            .is_empty());
+        assert!(
+            crate::bandwidth::detect_link_overloads(&topo, &wl.catalog, &out.schedule).is_empty()
+        );
     }
 
     #[test]
@@ -528,10 +538,7 @@ mod tests {
             // A blocked request must not appear in the schedule.
             let vs = out.schedule.video(b.video);
             if let Some(vs) = vs {
-                assert!(!vs
-                    .transfers
-                    .iter()
-                    .any(|t| t.user == Some(b.user) && t.start == b.start));
+                assert!(!vs.transfers.iter().any(|t| t.user == Some(b.user) && t.start == b.start));
             }
         }
     }

@@ -74,7 +74,8 @@ mod tests {
 
     fn setup(seed: u64) -> (vod_topology::Topology, vod_workload::Workload) {
         let topo = builders::paper_fig4(&builders::PaperFig4Config::default());
-        let wl = Workload::generate(&topo, &CatalogConfig::small(60), &RequestConfig::paper(), seed);
+        let wl =
+            Workload::generate(&topo, &CatalogConfig::small(60), &RequestConfig::paper(), seed);
         (topo, wl)
     }
 

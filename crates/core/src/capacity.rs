@@ -47,10 +47,27 @@ impl StorageLedger {
     }
 
     /// Drop every profile belonging to `video` (ahead of rescheduling it).
+    ///
+    /// Scans every node; when the caller knows which storages the video
+    /// occupies (SORP's commit does — the outgoing schedule lists its
+    /// residencies), prefer the incremental [`StorageLedger::remove`].
     pub fn remove_video(&mut self, video: VideoId) {
         for node in &mut self.entries {
             node.retain(|(v, _)| *v != video);
         }
+    }
+
+    /// Drop every profile of `video` recorded at `loc` only — the
+    /// incremental counterpart of [`StorageLedger::remove_video`].
+    /// Idempotent, and a no-op if the video has nothing recorded there.
+    pub fn remove(&mut self, loc: NodeId, video: VideoId) {
+        self.entries[loc.index()].retain(|(v, _)| *v != video);
+    }
+
+    /// Whether any profile of `video` is recorded at any storage.
+    /// O(total entries); used by tests and SORP's debug cross-checks.
+    pub fn contains_video(&self, video: VideoId) -> bool {
+        self.entries.iter().any(|node| node.iter().any(|(v, _)| *v == video))
     }
 
     /// Number of recorded (non-degenerate) profiles at `loc`.
@@ -223,7 +240,7 @@ mod tests {
         let t = topo(3.0); // 3 GB capacity
         let mut l = StorageLedger::new(&t);
         l.add(NodeId(1), VideoId(0), profile(0.0, 5000.0)); // 2 GB resident
-        // Another concurrent 2 GB copy would need 4 GB: rejected.
+                                                            // Another concurrent 2 GB copy would need 4 GB: rejected.
         assert!(!l.fits(&t, NodeId(1), &profile(1000.0, 4000.0), None));
         // The same copy after the first has drained fits.
         assert!(l.fits(&t, NodeId(1), &profile(6500.0, 9000.0), None));

@@ -135,8 +135,7 @@ impl Search<'_, '_> {
             };
 
             // (a) deliver directly.
-            let direct =
-                cost_so_far + amortized * self.ctx.routes.rate(src, local) + ext_cost;
+            let direct = cost_so_far + amortized * self.ctx.routes.rate(src, local) + ext_cost;
             self.apply(i, src_idx, Plan { src, new_cache: None }, req.start, direct);
 
             // (b) deliver via a new cache at any unused storage.
@@ -144,8 +143,8 @@ impl Search<'_, '_> {
             let storages: Vec<NodeId> =
                 self.ctx.topo.storages().filter(|m| *m != src && !used.contains(m)).collect();
             for m in storages {
-                let net = amortized
-                    * (self.ctx.routes.rate(src, m) + self.ctx.routes.rate(m, local));
+                let net =
+                    amortized * (self.ctx.routes.rate(src, m) + self.ctx.routes.rate(m, local));
                 let cost = cost_so_far + net + ext_cost;
                 self.apply_with_cache(i, src_idx, m, req, cost);
             }
@@ -186,7 +185,14 @@ impl Search<'_, '_> {
     }
 
     /// Recurse with a plan that additionally creates a cache at `m`.
-    fn apply_with_cache(&mut self, i: usize, src_idx: usize, m: NodeId, req: Request, cost: Dollars) {
+    fn apply_with_cache(
+        &mut self,
+        i: usize,
+        src_idx: usize,
+        m: NodeId,
+        req: Request,
+        cost: Dollars,
+    ) {
         let saved_last = if src_idx > 0 {
             let c = &mut self.caches[src_idx - 1];
             let saved = c.last;
@@ -195,7 +201,8 @@ impl Search<'_, '_> {
         } else {
             None
         };
-        let src = if src_idx == 0 { self.ctx.topo.warehouse() } else { self.caches[src_idx - 1].loc };
+        let src =
+            if src_idx == 0 { self.ctx.topo.warehouse() } else { self.caches[src_idx - 1].loc };
         self.caches.push(CacheState { loc: m, start: req.start, last: req.start });
         self.plans.push(Plan { src, new_cache: Some(m) });
         self.dfs(i + 1, cost);
@@ -249,8 +256,7 @@ mod tests {
 
     fn fig2_setup() -> (vod_topology::Topology, Catalog) {
         let topo = builders::paper_fig2(16.0, 8.0, 1.0, 5.0);
-        let video =
-            Video::new(VideoId(0), units::gb(2.5), units::minutes(90.0), units::mbps(6.0));
+        let video = Video::new(VideoId(0), units::gb(2.5), units::minutes(90.0), units::mbps(6.0));
         (topo, Catalog::new(vec![video]))
     }
 
@@ -277,11 +283,11 @@ mod tests {
     #[test]
     fn exact_never_exceeds_greedy() {
         use vod_workload::{generate_requests, CatalogConfig, RequestConfig};
-        let cfg = builders::GenConfig { storages: 4, users_per_neighborhood: 1, ..Default::default() };
+        let cfg =
+            builders::GenConfig { storages: 4, users_per_neighborhood: 1, ..Default::default() };
         for seed in 0..20 {
             let topo = builders::random_connected(&cfg, 2, seed);
-            let catalog =
-                vod_workload::generate_catalog(&CatalogConfig::small(3), seed ^ 0xBEEF);
+            let catalog = vod_workload::generate_catalog(&CatalogConfig::small(3), seed ^ 0xBEEF);
             let requests = generate_requests(
                 &topo,
                 &catalog,
@@ -302,8 +308,10 @@ mod tests {
                     exact.cost
                 );
                 // And the materialised schedule prices at the claimed cost.
-                assert!((ctx.video_cost(&exact.schedule) - exact.cost).abs()
-                        <= 1e-9 * exact.cost.max(1.0));
+                assert!(
+                    (ctx.video_cost(&exact.schedule) - exact.cost).abs()
+                        <= 1e-9 * exact.cost.max(1.0)
+                );
             }
         }
     }
@@ -322,9 +330,21 @@ mod tests {
         for _ in 0..40 {
             let mut b = vod_topology::TopologyBuilder::new();
             let vw = b.add_warehouse("VW");
-            let s0 = b.add_storage("IS0", units::srate_per_gb_hour(rng.range_f64(0.0, 30.0)), units::gb(50.0));
-            let s1 = b.add_storage("IS1", units::srate_per_gb_hour(rng.range_f64(0.0, 30.0)), units::gb(50.0));
-            let s2 = b.add_storage("IS2", units::srate_per_gb_hour(rng.range_f64(0.0, 30.0)), units::gb(50.0));
+            let s0 = b.add_storage(
+                "IS0",
+                units::srate_per_gb_hour(rng.range_f64(0.0, 30.0)),
+                units::gb(50.0),
+            );
+            let s1 = b.add_storage(
+                "IS1",
+                units::srate_per_gb_hour(rng.range_f64(0.0, 30.0)),
+                units::gb(50.0),
+            );
+            let s2 = b.add_storage(
+                "IS2",
+                units::srate_per_gb_hour(rng.range_f64(0.0, 30.0)),
+                units::gb(50.0),
+            );
             b.connect(vw, s0, units::nrate_per_gb(rng.range_f64(50.0, 600.0))).unwrap();
             b.connect(s0, s1, units::nrate_per_gb(rng.range_f64(50.0, 600.0))).unwrap();
             b.connect(s1, s2, units::nrate_per_gb(rng.range_f64(50.0, 600.0))).unwrap();
@@ -376,7 +396,7 @@ mod tests {
     }
 
     #[test]
-    fn single_request_optimal_is_cheapest_route(){
+    fn single_request_optimal_is_cheapest_route() {
         let (topo, catalog) = fig2_setup();
         let model = CostModel::per_hop();
         let ctx = SchedCtx::new(&topo, &model, &catalog);

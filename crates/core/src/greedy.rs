@@ -31,6 +31,7 @@ use vod_cost_model::{
     Dollars, Request, RequestBatch, Residency, Schedule, Secs, SpaceProfile, Transfer, Video,
     VideoId, VideoSchedule,
 };
+use vod_parallel::{map_with_mode, ExecMode};
 use vod_topology::NodeId;
 
 /// Relative tolerance for treating two candidate costs as equal, letting
@@ -153,12 +154,26 @@ pub fn ivsp_solve(ctx: &SchedCtx<'_>, batch: &RequestBatch) -> Schedule {
 }
 
 /// [`ivsp_solve`] under an explicit [`GreedyPolicy`] (ablations).
-pub fn ivsp_solve_with(
+pub fn ivsp_solve_with(ctx: &SchedCtx<'_>, batch: &RequestBatch, policy: GreedyPolicy) -> Schedule {
+    ivsp_solve_with_mode(ctx, batch, policy, ExecMode::default())
+}
+
+/// [`ivsp_solve_with`] under an explicit [`ExecMode`].
+///
+/// Video groups are independent (phase 1 is capacity-blind), so they
+/// fan out across cores; results are collected in input (video-id)
+/// order, making the parallel schedule bit-identical to the sequential
+/// one.
+pub fn ivsp_solve_with_mode(
     ctx: &SchedCtx<'_>,
     batch: &RequestBatch,
     policy: GreedyPolicy,
+    mode: ExecMode,
 ) -> Schedule {
-    batch.groups().map(|(_, group)| greedy(ctx, group, None, policy)).collect()
+    let groups: Vec<_> = batch.groups().collect();
+    map_with_mode(mode, &groups, |(_, group)| greedy(ctx, group, None, policy))
+        .into_iter()
+        .collect()
 }
 
 /// The rejective greedy (paper §4.4): recompute one video's schedule under
@@ -252,15 +267,8 @@ fn greedy(
                 if !policy.allow_remote_placement && m != local {
                     continue;
                 }
-                let cost =
-                    amortized * (ctx.routes.rate(src, m) + ctx.routes.rate(m, local)) + ext;
-                let priority = if !policy.prefer_local_cache_on_ties {
-                    0
-                } else if m == local {
-                    0
-                } else {
-                    3
-                };
+                let cost = amortized * (ctx.routes.rate(src, m) + ctx.routes.rate(m, local)) + ext;
+                let priority = if policy.prefer_local_cache_on_ties && m != local { 3 } else { 0 };
                 consider(Candidate { cost, priority, src, new_cache: Some(m) }, &mut best);
             }
         }
@@ -273,9 +281,7 @@ fn greedy(
         }
         match plan.new_cache {
             None => {
-                schedule
-                    .transfers
-                    .push(Transfer::for_user(req, ctx.routes.path(plan.src, local)));
+                schedule.transfers.push(Transfer::for_user(req, ctx.routes.path(plan.src, local)));
             }
             Some(m) => {
                 let mut route = ctx.routes.path(plan.src, m).nodes;
@@ -326,12 +332,7 @@ mod tests {
     /// Fig. 2 environment with the dollar-exact rates.
     fn fig2() -> (Topology, Catalog) {
         let topo = builders::paper_fig2(16.0, 8.0, 1.0, 5.0);
-        let video = Video::new(
-            VideoId(0),
-            units::gb(2.5),
-            units::minutes(90.0),
-            units::mbps(6.0),
-        );
+        let video = Video::new(VideoId(0), units::gb(2.5), units::minutes(90.0), units::mbps(6.0));
         (topo, Catalog::new(vec![video]))
     }
 
@@ -444,8 +445,7 @@ mod tests {
         // direct and every residency stays degenerate.
         let mut topo = builders::paper_fig2(16.0, 8.0, 1.0, 5.0);
         topo.set_uniform_srate(units::srate_per_gb_hour(1e7)).unwrap();
-        let video =
-            Video::new(VideoId(0), units::gb(2.5), units::minutes(90.0), units::mbps(6.0));
+        let video = Video::new(VideoId(0), units::gb(2.5), units::minutes(90.0), units::mbps(6.0));
         let catalog = Catalog::new(vec![video]);
         let model = CostModel::per_hop();
         let ctx = SchedCtx::new(&topo, &model, &catalog);
@@ -462,8 +462,7 @@ mod tests {
     fn free_storage_caches_aggressively() {
         let mut topo = builders::paper_fig2(16.0, 8.0, 1.0, 5.0);
         topo.set_uniform_srate(0.0).unwrap();
-        let video =
-            Video::new(VideoId(0), units::gb(2.5), units::minutes(90.0), units::mbps(6.0));
+        let video = Video::new(VideoId(0), units::gb(2.5), units::minutes(90.0), units::mbps(6.0));
         let catalog = Catalog::new(vec![video]);
         let model = CostModel::per_hop();
         let ctx = SchedCtx::new(&topo, &model, &catalog);
@@ -482,11 +481,10 @@ mod tests {
         let ledger = StorageLedger::new(&topo);
         // Forbid any occupancy at IS1 and IS2 for the whole day: the only
         // admissible plans are direct deliveries (degenerate caches).
-        let forbidden = vec![
-            (NodeId(1), Interval::new(0.0, 1e6)),
-            (NodeId(2), Interval::new(0.0, 1e6)),
-        ];
-        let cons = Constraints { ledger: &ledger, exclude: Some(VideoId(0)), forbidden: &forbidden };
+        let forbidden =
+            vec![(NodeId(1), Interval::new(0.0, 1e6)), (NodeId(2), Interval::new(0.0, 1e6))];
+        let cons =
+            Constraints { ledger: &ledger, exclude: Some(VideoId(0)), forbidden: &forbidden };
         let vs = reschedule_video(&ctx, &fig2_requests(), &cons);
         let cost = ctx.video_cost(&vs);
         assert!((cost - 259.2).abs() < 1e-6, "forbidden caching must force direct: {cost}");
@@ -567,8 +565,7 @@ mod tests {
         let policy = GreedyPolicy { allow_remote_placement: false, ..Default::default() };
         let vs = find_video_schedule_with(&ctx, &fig2_requests(), policy);
         for r in &vs.residencies {
-            let locals: Vec<NodeId> =
-                r.services.iter().map(|s| topo.home_of(s.user)).collect();
+            let locals: Vec<NodeId> = r.services.iter().map(|s| topo.home_of(s.user)).collect();
             assert!(locals.contains(&r.loc), "cache at {} serves no local user", r.loc);
         }
         // Still at least as cheap as all-direct (local caching helps U3).

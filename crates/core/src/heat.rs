@@ -171,10 +171,7 @@ mod tests {
 
     #[test]
     fn method_numbers_match_the_paper() {
-        assert_eq!(
-            HeatMetric::ALL.map(|m| m.method_number()),
-            [1, 2, 3, 4]
-        );
+        assert_eq!(HeatMetric::ALL.map(|m| m.method_number()), [1, 2, 3, 4]);
         assert_eq!(HeatMetric::TimeSpacePerCost.method_number(), 4);
     }
 

@@ -59,13 +59,24 @@ pub mod exact;
 mod greedy;
 pub mod heat;
 mod overflow;
+mod pricing;
 mod sorp;
 
-pub use bandwidth_aware::{bandwidth_aware_solve, constrained_cheapest_path, BandwidthAwareOutcome, LinkLedger};
+pub use bandwidth_aware::{
+    bandwidth_aware_solve, constrained_cheapest_path, BandwidthAwareOutcome, LinkLedger,
+};
 pub use capacity::StorageLedger;
-pub use exact::{find_optimal_video_schedule, ExactOutcome};
 pub use ctx::SchedCtx;
-pub use greedy::{find_video_schedule, find_video_schedule_with, ivsp_solve, ivsp_solve_with, reschedule_video, Constraints, GreedyPolicy};
+pub use exact::{find_optimal_video_schedule, ExactOutcome};
+pub use greedy::{
+    find_video_schedule, find_video_schedule_with, ivsp_solve, ivsp_solve_with,
+    ivsp_solve_with_mode, reschedule_video, Constraints, GreedyPolicy,
+};
 pub use heat::{delta_s, heat_of, improved_period, improvement_window, HeatMetric};
 pub use overflow::{detect_overflows, overflow_set, Interval, Overflow};
-pub use sorp::{sorp_solve, sorp_solve_seeded, SorpConfig, SorpOutcome, VictimRecord, EXTERNAL_OCCUPANCY};
+pub use pricing::{ivsp_solve_priced, ivsp_solve_priced_with, PricedSchedule};
+pub use sorp::{
+    sorp_solve, sorp_solve_priced, sorp_solve_seeded, SorpConfig, SorpOutcome, VictimRecord,
+    EXTERNAL_OCCUPANCY,
+};
+pub use vod_parallel::{map_with_mode, parallel_map, ExecMode};

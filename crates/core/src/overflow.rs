@@ -65,10 +65,7 @@ pub struct Overflow {
 /// analyses storage requirement against storage availability at every
 /// intermediate storage). Returns overflows sorted by location then start
 /// time; each is a maximal over-capacity interval.
-pub fn detect_overflows(
-    topo: &Topology,
-    ledger: &StorageLedger,
-) -> Vec<Overflow> {
+pub fn detect_overflows(topo: &Topology, ledger: &StorageLedger) -> Vec<Overflow> {
     let mut out = Vec::new();
     for loc in topo.storages() {
         let capacity = topo.capacity(loc);
@@ -117,9 +114,7 @@ fn overflows_at(ledger: &StorageLedger, loc: NodeId, capacity: Bytes) -> Vec<Ove
             continue;
         }
         // Crossing point of the linear segment with the capacity line.
-        let cross = |target: Bytes| -> Secs {
-            t0 + (target - u0) / (u1 - u0) * (t1 - t0)
-        };
+        let cross = |target: Bytes| -> Secs { t0 + (target - u0) / (u1 - u0) * (t1 - t0) };
         let (seg_start, seg_end) = match (over0, over1) {
             (true, true) => (t0, t1),
             (false, true) => (cross(capacity), t1),
@@ -161,9 +156,7 @@ pub fn overflow_set<'s>(
         })
         .collect();
     set.sort_by(|a, b| {
-        a.video
-            .cmp(&b.video)
-            .then(a.start.partial_cmp(&b.start).expect("times are finite"))
+        a.video.cmp(&b.video).then(a.start.partial_cmp(&b.start).expect("times are finite"))
     });
     set
 }
@@ -234,10 +227,8 @@ mod tests {
         // instead with two 2.5 GB copies.
         let mut topo = topo;
         topo.set_uniform_capacity(units::gb(4.0)).unwrap();
-        let s = schedule_with(vec![
-            residency(0, 1, 0.0, 10_000.0),
-            residency(1, 1, 2_000.0, 12_000.0),
-        ]);
+        let s =
+            schedule_with(vec![residency(0, 1, 0.0, 10_000.0), residency(1, 1, 2_000.0, 12_000.0)]);
         let ledger = StorageLedger::from_schedule(&topo, &catalog, &s);
         let ofs = detect_overflows(&topo, &ledger);
         assert_eq!(ofs.len(), 1);
@@ -260,10 +251,8 @@ mod tests {
         let (mut topo, catalog) = setup(5.0);
         topo.set_uniform_capacity(units::gb(3.0)).unwrap();
         // Second copy starts after the first has fully drained (t_f + P).
-        let s = schedule_with(vec![
-            residency(0, 1, 0.0, 1_000.0),
-            residency(1, 1, 7_000.0, 9_000.0),
-        ]);
+        let s =
+            schedule_with(vec![residency(0, 1, 0.0, 1_000.0), residency(1, 1, 7_000.0, 9_000.0)]);
         let ledger = StorageLedger::from_schedule(&topo, &catalog, &s);
         assert!(detect_overflows(&topo, &ledger).is_empty());
     }
@@ -297,10 +286,8 @@ mod tests {
     fn overflow_set_selects_overlapping_residencies_only() {
         let (mut topo, catalog) = setup(5.0);
         topo.set_uniform_capacity(units::gb(4.0)).unwrap();
-        let s = schedule_with(vec![
-            residency(0, 1, 0.0, 10_000.0),
-            residency(1, 1, 2_000.0, 12_000.0),
-        ]);
+        let s =
+            schedule_with(vec![residency(0, 1, 0.0, 10_000.0), residency(1, 1, 2_000.0, 12_000.0)]);
         let ledger = StorageLedger::from_schedule(&topo, &catalog, &s);
         let ofs = detect_overflows(&topo, &ledger);
         let set = overflow_set(&s, &catalog, &ofs[0]);
@@ -314,10 +301,8 @@ mod tests {
     fn degenerate_residencies_never_appear_in_overflow_sets() {
         let (mut topo, catalog) = setup(5.0);
         topo.set_uniform_capacity(units::gb(4.0)).unwrap();
-        let s = schedule_with(vec![
-            residency(0, 1, 0.0, 10_000.0),
-            residency(1, 1, 2_000.0, 12_000.0),
-        ]);
+        let s =
+            schedule_with(vec![residency(0, 1, 0.0, 10_000.0), residency(1, 1, 2_000.0, 12_000.0)]);
         let mut s = s;
         let mut vs0 = s.video(VideoId(0)).unwrap().clone();
         vs0.residencies.push(residency(0, 1, 3_000.0, 3_000.0)); // zero space

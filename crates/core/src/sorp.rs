@@ -22,12 +22,33 @@
 
 use crate::{
     detect_overflows, heat_of, overflow_set, reschedule_video, Constraints, HeatMetric, Interval,
-    Overflow, SchedCtx, StorageLedger,
+    PricedSchedule, SchedCtx, StorageLedger,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use vod_cost_model::{Dollars, Schedule, SpaceProfile, VideoId, VideoSchedule};
+use vod_cost_model::{Dollars, Request, Schedule, SpaceProfile, VideoId, VideoSchedule};
+use vod_parallel::{map_with_mode, ExecMode};
 use vod_topology::NodeId;
+
+/// Relative tolerance for treating two heat values as equal, mirroring
+/// the greedy's `COST_EPS` candidate comparison: near-equal heats fall
+/// through to the deterministic tie-break instead of being separated by
+/// float luck.
+const HEAT_EPS: f64 = 1e-9;
+
+/// Whether two heats are equal up to [`HEAT_EPS`] (relative). Infinite
+/// heats (the ratio metrics return `+∞` for non-positive overhead) tie
+/// only with themselves — `∞ − ∞` is NaN, so they never enter the
+/// epsilon comparison.
+fn heats_tie(a: f64, b: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return false;
+    }
+    (a - b).abs() <= HEAT_EPS * (1.0 + a.abs().max(b.abs()))
+}
 
 /// Sentinel id for occupancy committed outside the schedule being
 /// resolved (e.g. residency drain tails spilling over from a previous
@@ -131,9 +152,54 @@ pub fn sorp_solve_seeded(
     cfg: &SorpConfig,
     external: &[(NodeId, SpaceProfile)],
 ) -> SorpOutcome {
-    let initial_cost = ctx.schedule_cost(initial);
-    let mut schedule = initial.clone();
-    let mut ledger = StorageLedger::from_schedule(ctx.topo, ctx.catalog, &schedule);
+    sorp_solve_priced(
+        ctx,
+        PricedSchedule::price(ctx, initial.clone()),
+        cfg,
+        external,
+        ExecMode::default(),
+    )
+}
+
+/// One trial-reschedule unit of work: everything a worker needs to
+/// re-derive a candidate independently of its siblings. Materialized in
+/// deterministic (overflow, participant) order before fanning out.
+struct TrialJob {
+    /// Index into this iteration's overflow list.
+    of_idx: usize,
+    /// The participating video.
+    vid: VideoId,
+    /// Its delivered requests (the reschedule input).
+    requests: Vec<Request>,
+    /// Accumulated forbidden windows plus this overflow's window.
+    bans: Vec<(NodeId, Interval)>,
+    /// The participating residency's space profile (heat input).
+    profile: SpaceProfile,
+    /// The video's current cost, read from the pricing memo.
+    old_cost: Dollars,
+}
+
+/// The full-control SORP entry point: resolve overflows on an
+/// already-priced schedule, under an explicit [`ExecMode`].
+///
+/// Each iteration materializes the trial-reschedule jobs in
+/// deterministic order, fans them out with the order-preserving
+/// [`map_with_mode`], then reduces the candidates sequentially in input
+/// order with the epsilon-aware heat comparison — so the parallel path
+/// selects the exact victim the sequential path would, bit for bit.
+/// All cost accounting inside the loop is incremental: the victim's
+/// current cost comes from the pricing memo and the commit updates the
+/// running Ψ by delta (cross-checked under `debug_assert`); no caller
+/// performs a full `schedule_cost` recompute inside the loop.
+pub fn sorp_solve_priced(
+    ctx: &SchedCtx<'_>,
+    mut priced: PricedSchedule,
+    cfg: &SorpConfig,
+    external: &[(NodeId, SpaceProfile)],
+    mode: ExecMode,
+) -> SorpOutcome {
+    let initial_cost = priced.total();
+    let mut ledger = StorageLedger::from_schedule(ctx.topo, ctx.catalog, priced.schedule());
     for (loc, profile) in external {
         ledger.add(*loc, EXTERNAL_OCCUPANCY, *profile);
     }
@@ -152,58 +218,77 @@ pub fn sorp_solve_seeded(
             // direct-only delivery. Strictly reduces stored bytes, so this
             // loop tail terminates.
             let of = &overflows[0];
-            let set = overflow_set(&schedule, ctx.catalog, of);
+            let set = overflow_set(priced.schedule(), ctx.catalog, of);
             let Some(victim) = set.first() else {
                 break; // purely external overflow: unresolvable
             };
             let vid = victim.video;
-            let old = schedule.video(vid).expect("victim video is scheduled").clone();
+            let old = priced.schedule().video(vid).expect("victim video is scheduled").clone();
             let new_vs = force_direct(ctx, &old);
-            commit(ctx, &mut schedule, &mut ledger, new_vs);
+            commit(ctx, &mut priced, &mut ledger, new_vs);
             forced_fallbacks += 1;
             continue;
         }
         iterations += 1;
 
-        // Trial-reschedule every overflow participant; keep the hottest.
-        let mut best: Option<(f64, Dollars, VideoId, &Overflow, VideoSchedule)> = None;
-        for of in &overflows {
-            let set = overflow_set(&schedule, ctx.catalog, of);
-            for c in set {
+        // Materialize every overflow participant's trial in scan order.
+        let mut jobs: Vec<TrialJob> = Vec::new();
+        for (of_idx, of) in overflows.iter().enumerate() {
+            for c in overflow_set(priced.schedule(), ctx.catalog, of) {
                 let vid = c.video;
-                let old_vs = schedule.video(vid).expect("resident video is scheduled");
+                let old_vs = priced.schedule().video(vid).expect("resident video is scheduled");
                 let requests = old_vs.delivered_requests();
                 if requests.is_empty() {
                     continue; // residency without deliveries cannot occur
                 }
                 let mut bans = forbidden.get(&vid).cloned().unwrap_or_default();
                 bans.push((of.loc, of.window));
-                let cons =
-                    Constraints { ledger: &ledger, exclude: Some(vid), forbidden: &bans };
-                let new_vs = reschedule_video(ctx, &requests, &cons);
-                let overhead = ctx.video_cost(&new_vs) - ctx.video_cost(old_vs);
                 let profile = c.profile(ctx.catalog.get(vid));
-                let heat = heat_of(cfg.metric, of, &profile, overhead);
-                let better = match &best {
-                    None => true,
-                    Some((bh, boh, bvid, bof, _)) => {
-                        heat > *bh
-                            || (heat == *bh
-                                && (overhead, vid.0, of.loc.0, of.window.start)
-                                    < (*boh, bvid.0, bof.loc.0, bof.window.start))
-                    }
-                };
-                if better {
-                    best = Some((heat, overhead, vid, of, new_vs));
-                }
+                let old_cost =
+                    priced.video_cost(vid).expect("every scheduled video is in the memo");
+                jobs.push(TrialJob { of_idx, vid, requests, bans, profile, old_cost });
             }
         }
 
-        let Some((heat, overhead, vid, of, new_vs)) = best else {
+        // Fan the trial reschedules out: each is a pure function of its
+        // job, the (frozen) ledger, and the context.
+        let trials = map_with_mode(mode, &jobs, |job| {
+            let cons =
+                Constraints { ledger: &ledger, exclude: Some(job.vid), forbidden: &job.bans };
+            let new_vs = reschedule_video(ctx, &job.requests, &cons);
+            let overhead = ctx.video_cost(&new_vs) - job.old_cost;
+            let heat = heat_of(cfg.metric, &overflows[job.of_idx], &job.profile, overhead);
+            (heat, overhead, new_vs)
+        });
+
+        // Reduce sequentially in job order: same comparisons, same
+        // winner as a sequential scan, regardless of worker scheduling.
+        let mut best: Option<(f64, Dollars, usize, VideoSchedule)> = None;
+        for (ji, (heat, overhead, new_vs)) in trials.into_iter().enumerate() {
+            let better = match &best {
+                None => true,
+                Some((bh, boh, bji, _)) => {
+                    if heats_tie(heat, *bh) {
+                        let (job, bjob) = (&jobs[ji], &jobs[*bji]);
+                        let (of, bof) = (&overflows[job.of_idx], &overflows[bjob.of_idx]);
+                        (overhead, job.vid.0, of.loc.0, of.window.start)
+                            < (*boh, bjob.vid.0, bof.loc.0, bof.window.start)
+                    } else {
+                        heat > *bh
+                    }
+                }
+            };
+            if better {
+                best = Some((heat, overhead, ji, new_vs));
+            }
+        }
+
+        let Some((heat, overhead, ji, new_vs)) = best else {
             // Every remaining overflow consists purely of external
             // occupancy: nothing left to reschedule.
             break;
         };
+        let (vid, of) = (jobs[ji].vid, &overflows[jobs[ji].of_idx]);
         forbidden.entry(vid).or_default().push((of.loc, of.window));
         victims.push(VictimRecord {
             video: vid,
@@ -213,13 +298,16 @@ pub fn sorp_solve_seeded(
             overhead,
             heat,
         });
-        commit(ctx, &mut schedule, &mut ledger, new_vs);
+        commit(ctx, &mut priced, &mut ledger, new_vs);
     }
 
-    let cost = ctx.schedule_cost(&schedule);
+    // The running total *is* the final cost; cross-check the delta
+    // accounting against the closed form once, outside the loop.
+    debug_assert!(priced.consistent_with(ctx), "SORP left an inconsistent pricing memo");
+    let cost = priced.total();
     let overflow_free = detect_overflows(ctx.topo, &ledger).is_empty();
     SorpOutcome {
-        schedule,
+        schedule: priced.into_schedule(),
         cost,
         initial_cost,
         iterations,
@@ -229,18 +317,29 @@ pub fn sorp_solve_seeded(
     }
 }
 
-/// Replace a video's schedule and refresh the ledger.
+/// Replace a video's schedule, updating ledger and pricing incrementally:
+/// occupancy is dropped only at the storages the outgoing schedule
+/// actually used, and the running Ψ moves by the commit's delta.
 fn commit(
     ctx: &SchedCtx<'_>,
-    schedule: &mut Schedule,
+    priced: &mut PricedSchedule,
     ledger: &mut StorageLedger,
     new_vs: VideoSchedule,
 ) {
-    ledger.remove_video(new_vs.video);
+    let vid = new_vs.video;
+    if let Some(old_vs) = priced.schedule().video(vid) {
+        for r in &old_vs.residencies {
+            ledger.remove(r.loc, vid);
+        }
+    }
+    debug_assert!(
+        !ledger.contains_video(vid),
+        "ledger held occupancy for video {vid:?} outside its scheduled residencies"
+    );
     for r in &new_vs.residencies {
         ledger.add(r.loc, r.video, r.profile(ctx.catalog.get(r.video)));
     }
-    schedule.upsert(new_vs);
+    priced.commit(ctx, new_vs);
 }
 
 /// All-direct delivery schedule for a video (no residencies at all).
@@ -249,8 +348,7 @@ fn force_direct(ctx: &SchedCtx<'_>, old: &VideoSchedule) -> VideoSchedule {
     let vw = ctx.topo.warehouse();
     for req in old.delivered_requests() {
         let local = ctx.topo.home_of(req.user);
-        vs.transfers
-            .push(vod_cost_model::Transfer::for_user(&req, ctx.routes.path(vw, local)));
+        vs.transfers.push(vod_cost_model::Transfer::for_user(&req, ctx.routes.path(vw, local)));
     }
     vs
 }
@@ -264,10 +362,10 @@ mod tests {
     use vod_workload::{CatalogConfig, RequestConfig, Workload};
 
     fn run(capacity_gb: f64, seed: u64, metric: HeatMetric) -> (SorpOutcome, Dollars) {
-        let mut cfg = builders::PaperFig4Config::default();
-        cfg.capacity_gb = capacity_gb;
+        let cfg = builders::PaperFig4Config { capacity_gb, ..Default::default() };
         let topo = builders::paper_fig4(&cfg);
-        let wl = Workload::generate(&topo, &CatalogConfig::small(80), &RequestConfig::paper(), seed);
+        let wl =
+            Workload::generate(&topo, &CatalogConfig::small(80), &RequestConfig::paper(), seed);
         let model = CostModel::per_hop();
         let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
         let individual = ivsp_solve(&ctx, &wl.requests);
@@ -359,9 +457,72 @@ mod tests {
     }
 
     #[test]
+    fn heat_ties_are_relative_epsilon() {
+        // Exact equality and near-equality both tie…
+        assert!(heats_tie(1.0, 1.0));
+        assert!(heats_tie(1.0, 1.0 + 1e-12));
+        assert!(heats_tie(1e9, 1e9 * (1.0 + 1e-12)));
+        // …clearly different heats do not…
+        assert!(!heats_tie(1.0, 1.0 + 1e-6));
+        assert!(!heats_tie(0.0, 1e-6));
+        // …and infinities tie only with themselves (never via ∞ − ∞).
+        assert!(heats_tie(f64::INFINITY, f64::INFINITY));
+        assert!(!heats_tie(f64::INFINITY, 1e300));
+        assert!(!heats_tie(f64::NEG_INFINITY, f64::INFINITY));
+        assert!(!heats_tie(f64::NAN, 1.0));
+    }
+
+    #[test]
+    fn sequential_and_parallel_sorp_agree_exactly() {
+        use crate::{ivsp_solve_priced, sorp_solve_priced, ExecMode};
+        let cfgb = builders::PaperFig4Config { capacity_gb: 5.0, ..Default::default() };
+        let topo = builders::paper_fig4(&cfgb);
+        let wl = Workload::generate(&topo, &CatalogConfig::small(80), &RequestConfig::paper(), 7);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
+        let priced = ivsp_solve_priced(&ctx, &wl.requests);
+        let cfg = SorpConfig::default();
+        let seq = sorp_solve_priced(&ctx, priced.clone(), &cfg, &[], ExecMode::Sequential);
+        let par = sorp_solve_priced(&ctx, priced, &cfg, &[], ExecMode::Parallel);
+        assert!(seq.schedule == par.schedule, "schedules must be bit-identical");
+        assert_eq!(seq.cost.to_bits(), par.cost.to_bits());
+        assert_eq!(seq.iterations, par.iterations);
+        assert_eq!(seq.victims.len(), par.victims.len());
+    }
+
+    #[test]
+    fn memoized_victim_cost_matches_recompute() {
+        // The trial loop reads each participant's current cost from the
+        // pricing memo; verify the memo tracks ctx.video_cost exactly
+        // through a full resolution run.
+        use crate::ivsp_solve_priced;
+        let cfgb = builders::PaperFig4Config { capacity_gb: 5.0, ..Default::default() };
+        let topo = builders::paper_fig4(&cfgb);
+        let wl = Workload::generate(&topo, &CatalogConfig::small(80), &RequestConfig::paper(), 8);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
+        let priced = ivsp_solve_priced(&ctx, &wl.requests);
+        for vs in priced.schedule().videos() {
+            assert_eq!(priced.video_cost(vs.video), Some(ctx.video_cost(vs)));
+        }
+        let outcome = sorp_solve_priced(
+            &ctx,
+            priced,
+            &SorpConfig::default(),
+            &[],
+            crate::ExecMode::Sequential,
+        );
+        assert!(outcome.resolved_anything(), "tight capacity must reschedule something");
+        // After resolution the outcome cost equals the closed form.
+        assert!(
+            (outcome.cost - ctx.schedule_cost(&outcome.schedule)).abs()
+                <= 1e-6 * outcome.cost.max(1.0)
+        );
+    }
+
+    #[test]
     fn zero_iteration_cap_forces_fallback_but_still_resolves() {
-        let mut cfgb = builders::PaperFig4Config::default();
-        cfgb.capacity_gb = 5.0;
+        let cfgb = builders::PaperFig4Config { capacity_gb: 5.0, ..Default::default() };
         let topo = builders::paper_fig4(&cfgb);
         let wl = Workload::generate(&topo, &CatalogConfig::small(80), &RequestConfig::paper(), 1);
         let model = CostModel::per_hop();

@@ -32,7 +32,12 @@ impl Transfer {
     /// destination must be the user's local IS; validated by the
     /// simulator).
     pub fn for_user(request: &Request, route: Route) -> Self {
-        Self { video: request.video, route: route.nodes, start: request.start, user: Some(request.user) }
+        Self {
+            video: request.video,
+            route: route.nodes,
+            start: request.start,
+            user: Some(request.user),
+        }
     }
 
     /// A cache-fill transfer (no delivered user).
@@ -131,13 +136,7 @@ impl Residency {
     /// The space-occupancy profile under an explicit space model.
     pub fn profile_with(&self, video: &Video, model: crate::SpaceModel) -> SpaceProfile {
         debug_assert_eq!(video.id, self.video);
-        SpaceProfile::with_model(
-            self.start,
-            self.last_service,
-            video.size,
-            video.playback,
-            model,
-        )
+        SpaceProfile::with_model(self.start, self.last_service, video.size, video.playback, model)
     }
 }
 
@@ -175,9 +174,7 @@ impl VideoSchedule {
         let mut out: Vec<Request> = self
             .transfers
             .iter()
-            .filter_map(|t| {
-                t.user.map(|user| Request { user, video: self.video, start: t.start })
-            })
+            .filter_map(|t| t.user.map(|user| Request { user, video: self.video, start: t.start }))
             .collect();
         out.sort_by(|a, b| {
             a.start
@@ -367,8 +364,9 @@ mod tests {
 
     #[test]
     fn schedule_from_iterator() {
-        let s: Schedule =
-            vec![VideoSchedule::new(VideoId(2)), VideoSchedule::new(VideoId(0))].into_iter().collect();
+        let s: Schedule = vec![VideoSchedule::new(VideoId(2)), VideoSchedule::new(VideoId(0))]
+            .into_iter()
+            .collect();
         let ids: Vec<u32> = s.videos().map(|v| v.video.0).collect();
         assert_eq!(ids, vec![0, 2]);
     }

@@ -254,8 +254,7 @@ mod tests {
             // Midpoint rule with fine steps.
             let n = 200_000;
             let h = (b - a) / n as f64;
-            let numeric: f64 =
-                (0..n).map(|i| p.space_at(a + (i as f64 + 0.5) * h) * h).sum();
+            let numeric: f64 = (0..n).map(|i| p.space_at(a + (i as f64 + 0.5) * h) * h).sum();
             assert!(
                 (analytic - numeric).abs() < SZ * (b - a) * 1e-4 + 1e-6,
                 "window [{a},{b}]: analytic={analytic} numeric={numeric}"

@@ -1,6 +1,9 @@
 //! Ad-hoc diagnostics: residency and overflow structure per cell.
 
-use vod_core::{detect_overflows, ivsp_solve, sorp_solve, SchedCtx, SorpConfig, StorageLedger};
+use vod_core::{
+    detect_overflows, ivsp_solve_priced, sorp_solve_priced, ExecMode, SchedCtx, SorpConfig,
+    StorageLedger,
+};
 use vod_cost_model::CostModel;
 use vod_experiments::EnvParams;
 
@@ -29,7 +32,14 @@ fn policy_ablation() {
     {
         let priced = CostModel::per_hop().with_space_model(sm);
         let ctx = SchedCtx::new(&topo, &priced, &wl.catalog);
-        let cost = sorp_solve(&ctx, &ivsp_solve(&ctx, &wl.requests), &SorpConfig::default()).cost;
+        let cost = sorp_solve_priced(
+            &ctx,
+            ivsp_solve_priced(&ctx, &wl.requests),
+            &SorpConfig::default(),
+            &[],
+            ExecMode::default(),
+        )
+        .cost;
         println!("space_model/{name}: resolved cost = {cost:.0}");
     }
 }
@@ -51,12 +61,13 @@ fn main() {
             let (topo, wl) = params.build();
             let model = CostModel::per_hop();
             let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
-            let s = ivsp_solve(&ctx, &wl.requests);
+            let priced = ivsp_solve_priced(&ctx, &wl.requests);
             let real: usize =
-                s.residencies().filter(|r| r.duration() > 0.0).count();
-            let ledger = StorageLedger::from_schedule(&topo, &wl.catalog, &s);
+                priced.schedule().residencies().filter(|r| r.duration() > 0.0).count();
+            let ledger = StorageLedger::from_schedule(&topo, &wl.catalog, priced.schedule());
             let ofs = detect_overflows(&topo, &ledger);
-            let outcome = sorp_solve(&ctx, &s, &SorpConfig::default());
+            let outcome =
+                sorp_solve_priced(&ctx, priced, &SorpConfig::default(), &[], ExecMode::default());
             println!(
                 "alpha={alpha:<6} cap={cap:<4} real_residencies={real:<4} overflows={:<3} victims={:<3} rel_inc={:.2}% hit_gain={:.1}%",
                 ofs.len(),

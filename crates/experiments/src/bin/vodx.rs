@@ -10,9 +10,9 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use vod_experiments::{cycles, ext, figures, render_csv, render_table, table5, EnvParams, Preset};
-use vod_core::{ivsp_solve, sorp_solve, SchedCtx, SorpConfig};
+use vod_core::{ivsp_solve_priced, sorp_solve_priced, ExecMode, SchedCtx, SorpConfig};
 use vod_cost_model::CostModel;
+use vod_experiments::{cycles, ext, figures, render_csv, render_table, table5, EnvParams, Preset};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -76,10 +76,18 @@ fn main() -> ExitCode {
                 let (topo, wl) = params.build();
                 let model = CostModel::per_hop();
                 let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
-                let outcome =
-                    sorp_solve(&ctx, &ivsp_solve(&ctx, &wl.requests), &SorpConfig::default());
+                let outcome = sorp_solve_priced(
+                    &ctx,
+                    ivsp_solve_priced(&ctx, &wl.requests),
+                    &SorpConfig::default(),
+                    &[],
+                    ExecMode::default(),
+                );
                 let analysis = vod_simulator::analysis::ScheduleAnalysis::of(
-                    &topo, &wl.catalog, &model, &outcome.schedule,
+                    &topo,
+                    &wl.catalog,
+                    &model,
+                    &outcome.schedule,
                 );
                 println!("# Baseline-cell schedule inspection");
                 println!("{}", analysis.render(&topo, 5));
@@ -94,14 +102,17 @@ fn main() -> ExitCode {
                 println!(
                     "{}",
                     vod_simulator::render::occupancy_timeline(
-                        &topo, &wl.catalog, &outcome.schedule, busiest, 16, 40
+                        &topo,
+                        &wl.catalog,
+                        &outcome.schedule,
+                        busiest,
+                        16,
+                        40
                     )
                 );
                 if let Some(dir) = &out_dir {
                     let path = dir.join("topology.dot");
-                    if let Err(e) =
-                        std::fs::write(&path, vod_topology::dot::to_dot(&topo))
-                    {
+                    if let Err(e) = std::fs::write(&path, vod_topology::dot::to_dot(&topo)) {
                         eprintln!("cannot write {}: {e}", path.display());
                         return ExitCode::FAILURE;
                     }

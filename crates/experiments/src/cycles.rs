@@ -5,14 +5,17 @@
 //! are still draining when cycle `k+1` starts. This module simulates `N`
 //! consecutive cycles: each cycle's batch is scheduled with the standard
 //! two-phase algorithm, but overflow resolution is *seeded* with the
-//! residual occupancy of every earlier cycle
-//! ([`vod_core::sorp_solve_seeded`]), so capacity commitments carry across
+//! residual occupancy of every earlier cycle (the `external` argument of
+//! [`vod_core::sorp_solve_priced`]), so capacity commitments carry across
 //! the cycle boundary exactly as they would on real disks.
 
 use crate::EnvParams;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
-use vod_core::{detect_overflows, ivsp_solve, sorp_solve_seeded, SchedCtx, SorpConfig, StorageLedger, EXTERNAL_OCCUPANCY};
+use vod_core::{
+    detect_overflows, ivsp_solve_priced, sorp_solve_priced, ExecMode, SchedCtx, SorpConfig,
+    StorageLedger, EXTERNAL_OCCUPANCY,
+};
 use vod_cost_model::{CostModel, Request, RequestBatch, SpaceProfile};
 use vod_topology::NodeId;
 use vod_workload::{generate_catalog, generate_requests, CatalogConfig, RequestConfig};
@@ -99,18 +102,22 @@ pub fn rolling_horizon(params: &EnvParams, n_cycles: usize) -> RollingOutcome {
             ..RequestConfig::with_alpha(params.zipf_alpha)
         };
         let raw = generate_requests(&topo, &catalog, &request_cfg, params.seed ^ (k as u64 + 1));
-        let shifted: Vec<Request> = raw
-            .iter()
-            .map(|r| Request { start: r.start + k as f64 * horizon, ..*r })
-            .collect();
+        let shifted: Vec<Request> =
+            raw.iter().map(|r| Request { start: r.start + k as f64 * horizon, ..*r }).collect();
         let batch = RequestBatch::new(shifted);
 
         // Spillover occupancy at the cycle boundary.
         let t0 = k as f64 * horizon;
         let spillover_bytes: f64 = committed.iter().map(|(_, p)| p.space_at(t0)).sum();
 
-        let phase1 = ivsp_solve(&ctx, &batch);
-        let outcome = sorp_solve_seeded(&ctx, &phase1, &SorpConfig::default(), &committed);
+        let phase1 = ivsp_solve_priced(&ctx, &batch);
+        let outcome = sorp_solve_priced(
+            &ctx,
+            phase1,
+            &SorpConfig::default(),
+            &committed,
+            ExecMode::default(),
+        );
 
         cycles.push(CycleReport {
             cycle: k,
@@ -135,7 +142,10 @@ pub fn rolling_horizon(params: &EnvParams, n_cycles: usize) -> RollingOutcome {
 
 /// Verify (for tests) that the union of all cycles' commitments never
 /// over-commits a storage.
-pub fn committed_is_feasible(params: &EnvParams, outcome_committed: &[(NodeId, SpaceProfile)]) -> bool {
+pub fn committed_is_feasible(
+    params: &EnvParams,
+    outcome_committed: &[(NodeId, SpaceProfile)],
+) -> bool {
     let (topo, _) = params.build();
     let mut ledger = StorageLedger::new(&topo);
     for (loc, p) in outcome_committed {
@@ -199,16 +209,15 @@ mod tests {
                 ..RequestConfig::with_alpha(params.zipf_alpha)
             };
             let raw = generate_requests(&topo, &catalog, &cfg, params.seed ^ (k as u64 + 1));
-            let shifted: Vec<Request> = raw
-                .iter()
-                .map(|r| Request { start: r.start + k as f64 * horizon, ..*r })
-                .collect();
+            let shifted: Vec<Request> =
+                raw.iter().map(|r| Request { start: r.start + k as f64 * horizon, ..*r }).collect();
             let batch = RequestBatch::new(shifted);
-            let out = sorp_solve_seeded(
+            let out = sorp_solve_priced(
                 &ctx,
-                &ivsp_solve(&ctx, &batch),
+                ivsp_solve_priced(&ctx, &batch),
                 &SorpConfig::default(),
                 &committed,
+                ExecMode::default(),
             );
             assert!(out.overflow_free);
             for r in out.schedule.residencies() {
@@ -226,6 +235,9 @@ mod tests {
         let out = rolling_horizon(&cheap_params(), 2);
         let text = out.render();
         assert!(text.contains("cycle"));
-        assert_eq!(text.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count(), 2);
+        assert_eq!(
+            text.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count(),
+            2
+        );
     }
 }

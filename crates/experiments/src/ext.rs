@@ -12,8 +12,8 @@ use crate::{parallel_map, EnvParams, Preset};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use vod_core::{
-    bandwidth_aware_solve, find_optimal_video_schedule, find_video_schedule, ivsp_solve,
-    sorp_solve, SchedCtx, SorpConfig,
+    bandwidth_aware_solve, find_optimal_video_schedule, find_video_schedule, ivsp_solve_priced,
+    sorp_solve_priced, ExecMode, SchedCtx, SorpConfig,
 };
 use vod_cost_model::CostModel;
 use vod_topology::{builders, units};
@@ -104,13 +104,8 @@ pub fn gap(preset: Preset) -> GapResult {
         (gap.max(0.0), exact.nodes_expanded)
     });
 
-    let mut r = GapResult {
-        instances,
-        optimal_hits: 0,
-        avg_gap: 0.0,
-        max_gap: 0.0,
-        avg_nodes: 0.0,
-    };
+    let mut r =
+        GapResult { instances, optimal_hits: 0, avg_gap: 0.0, max_gap: 0.0, avg_nodes: 0.0 };
     for &(gap, nodes) in &gaps {
         if gap <= 1e-9 {
             r.optimal_hits += 1;
@@ -190,8 +185,7 @@ pub fn bandwidth(preset: Preset) -> BandwidthResult {
 
     let rows = parallel_map(&capacities, |&streams| {
         let (mut topo, _) = base.build();
-        topo.set_uniform_bandwidth(Some(units::mbps(5.0) * streams))
-            .expect("positive capacity");
+        topo.set_uniform_bandwidth(Some(units::mbps(5.0) * streams)).expect("positive capacity");
         // Rebuild the workload against the capped topology (same seed, so
         // the request pattern is identical across capacity points).
         let catalog_cfg = CatalogConfig { videos: base.videos, ..CatalogConfig::paper() };
@@ -207,10 +201,15 @@ pub fn bandwidth(preset: Preset) -> BandwidthResult {
         let ctx = SchedCtx::new(&topo, &model, &catalog);
 
         let aware = bandwidth_aware_solve(&ctx, &requests);
-        let oblivious = sorp_solve(&ctx, &ivsp_solve(&ctx, &requests), &SorpConfig::default());
+        let oblivious = sorp_solve_priced(
+            &ctx,
+            ivsp_solve_priced(&ctx, &requests),
+            &SorpConfig::default(),
+            &[],
+            ExecMode::default(),
+        );
         let overloads =
-            vod_core::bandwidth::detect_link_overloads(&topo, &catalog, &oblivious.schedule)
-                .len();
+            vod_core::bandwidth::detect_link_overloads(&topo, &catalog, &oblivious.schedule).len();
 
         BandwidthRow {
             streams_per_link: streams,
@@ -257,10 +256,7 @@ mod tests {
         assert_eq!(r.rows.len(), 3);
         // Blocking is non-increasing in capacity.
         for w in r.rows.windows(2) {
-            assert!(
-                w[1].blocking <= w[0].blocking + 1e-9,
-                "wider links blocked more: {w:?}"
-            );
+            assert!(w[1].blocking <= w[0].blocking + 1e-9, "wider links blocked more: {w:?}");
         }
         // Generous capacity admits everything.
         let last = r.rows.last().unwrap();

@@ -65,23 +65,15 @@ pub fn fig5(preset: Preset) -> FigureResult {
                 })
                 .collect();
             let costs = parallel_map(&cells, |p| crate::env::evaluate_cell(p, METRIC).two_phase);
-            Series::new(
-                format!("srate = {srate}"),
-                nrates.iter().copied().zip(costs).collect(),
-            )
+            Series::new(format!("srate = {srate}"), nrates.iter().copied().zip(costs).collect())
         })
         .collect();
 
     // The network-only system is independent of srate; compute it once.
-    let cells: Vec<EnvParams> = nrates
-        .iter()
-        .map(|&nrate| EnvParams { nrate_per_gb: nrate, ..base.clone() })
-        .collect();
+    let cells: Vec<EnvParams> =
+        nrates.iter().map(|&nrate| EnvParams { nrate_per_gb: nrate, ..base.clone() }).collect();
     let direct = parallel_map(&cells, |p| crate::env::evaluate_cell(p, METRIC).network_only);
-    series.push(Series::new(
-        "Network only system",
-        nrates.iter().copied().zip(direct).collect(),
-    ));
+    series.push(Series::new("Network only system", nrates.iter().copied().zip(direct).collect()));
 
     FigureResult {
         id: "fig5".into(),
@@ -133,8 +125,10 @@ pub fn fig7(preset: Preset) -> FigureResult {
         .collect();
     let results = parallel_map(&cells, |p| crate::env::evaluate_cell(p, METRIC));
 
-    let with_is =
-        Series::new("With intermediate storage", srates.iter().copied().zip(results.iter().map(|r| r.two_phase)).collect());
+    let with_is = Series::new(
+        "With intermediate storage",
+        srates.iter().copied().zip(results.iter().map(|r| r.two_phase)).collect(),
+    );
     let network_only = Series::new(
         "Network only system",
         srates.iter().copied().zip(results.iter().map(|r| r.network_only)).collect(),
@@ -197,10 +191,7 @@ pub fn fig9(preset: Preset) -> FigureResult {
                 .map(|&alpha| EnvParams { zipf_alpha: alpha, capacity_gb: cap, ..base.clone() })
                 .collect();
             let costs = parallel_map(&cells, |p| crate::env::evaluate_cell(p, METRIC).two_phase);
-            Series::new(
-                format!("IS size = {cap} GB"),
-                alphas.iter().copied().zip(costs).collect(),
-            )
+            Series::new(format!("IS size = {cap} GB"), alphas.iter().copied().zip(costs).collect())
         })
         .collect();
 

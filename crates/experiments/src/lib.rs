@@ -33,5 +33,5 @@ mod report;
 pub mod table5;
 
 pub use env::{evaluate_cell, evaluate_cell_all_metrics, EnvParams, EvalResult, Preset};
-pub use parallel::parallel_map;
+pub use parallel::{map_with_mode, parallel_map, ExecMode};
 pub use report::{render_csv, render_table, FigureResult, Series};

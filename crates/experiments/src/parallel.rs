@@ -1,74 +1,7 @@
 //! Order-preserving parallel map over experiment cells.
 //!
-//! Sweeps are embarrassingly parallel (one scheduler run per cell), so a
-//! simple work-stealing-by-atomic-counter pool over crossbeam scoped
-//! threads is all that is needed. Falls back to sequential execution on a
-//! single-core machine with no overhead worth mentioning.
+//! The implementation now lives in the shared `vod-parallel` crate so
+//! the scheduler core and benches use the same primitive; this module
+//! re-exports it to keep the experiments-facing path stable.
 
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Apply `f` to every item, in parallel, preserving input order in the
-/// output.
-pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(items.len().max(1));
-    if workers <= 1 || items.len() <= 1 {
-        return items.iter().map(&f).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                *slots[i].lock() = Some(r);
-            });
-        }
-    })
-    .expect("worker threads never panic past f; panics propagate here");
-
-    slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("every slot was filled"))
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_order() {
-        let xs: Vec<usize> = (0..257).collect();
-        let ys = parallel_map(&xs, |&x| x * 2);
-        assert_eq!(ys, xs.iter().map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn handles_empty_and_single() {
-        let empty: Vec<u32> = vec![];
-        assert!(parallel_map(&empty, |&x| x).is_empty());
-        assert_eq!(parallel_map(&[7], |&x| x + 1), vec![8]);
-    }
-
-    #[test]
-    fn runs_nontrivial_work() {
-        let xs: Vec<u64> = (0..32).collect();
-        let ys = parallel_map(&xs, |&x| (0..1000u64).fold(x, |a, b| a.wrapping_add(b * b)));
-        assert_eq!(ys.len(), 32);
-        // Deterministic regardless of scheduling.
-        let zs = parallel_map(&xs, |&x| (0..1000u64).fold(x, |a, b| a.wrapping_add(b * b)));
-        assert_eq!(ys, zs);
-    }
-}
+pub use vod_parallel::{map_with_mode, parallel_map, ExecMode};

@@ -77,7 +77,8 @@ pub fn render_table(fig: &FigureResult) -> String {
     }
     let _ = writeln!(out);
 
-    let xs: Vec<f64> = fig.series.first().map(|s| s.points.iter().map(|p| p.0).collect()).unwrap_or_default();
+    let xs: Vec<f64> =
+        fig.series.first().map(|s| s.points.iter().map(|p| p.0).collect()).unwrap_or_default();
     for (i, x) in xs.iter().enumerate() {
         let _ = write!(out, "{:>width$.3}", x);
         for s in &fig.series {

@@ -90,11 +90,19 @@ impl Table5Result {
             100.0 * self.avg_rel_increase,
             100.0 * self.worst_rel_increase,
         );
-        let _ = writeln!(out, "(ties counted: m1 {} m2 {} m3 {} m4 {})",
-            self.best_counts[0], self.best_counts[1], self.best_counts[2], self.best_counts[3]);
-        let _ = writeln!(out, "(strict wins:  m1 {} m2 {} m3 {} m4 {})",
-            self.strict_best_counts[0], self.strict_best_counts[1],
-            self.strict_best_counts[2], self.strict_best_counts[3]);
+        let _ = writeln!(
+            out,
+            "(ties counted: m1 {} m2 {} m3 {} m4 {})",
+            self.best_counts[0], self.best_counts[1], self.best_counts[2], self.best_counts[3]
+        );
+        let _ = writeln!(
+            out,
+            "(strict wins:  m1 {} m2 {} m3 {} m4 {})",
+            self.strict_best_counts[0],
+            self.strict_best_counts[1],
+            self.strict_best_counts[2],
+            self.strict_best_counts[3]
+        );
         out
     }
 }
@@ -112,12 +120,7 @@ fn grid(preset: Preset, requests_per_user: Option<usize>) -> Vec<EnvParams> {
             vec![5.0, 8.0, 11.0, 14.0],
             vec![0.1, 0.271, 0.5, 0.7],
         ),
-        Preset::Fast => (
-            vec![300.0, 700.0],
-            vec![3.0, 8.0],
-            vec![5.0, 8.0],
-            vec![0.1, 0.5],
-        ),
+        Preset::Fast => (vec![300.0, 700.0], vec![3.0, 8.0], vec![5.0, 8.0], vec![0.1, 0.5]),
     };
     let mut cells = Vec::new();
     for &nrate in &nrates {
@@ -188,8 +191,7 @@ pub fn run_with(preset: Preset, requests_per_user: Option<usize>) -> Table5Resul
             result.m2_or_m4_best += 1;
         }
         // Strict winner, if any.
-        let winners: Vec<usize> =
-            (0..4).filter(|&k| costs[k] <= min + tol).collect();
+        let winners: Vec<usize> = (0..4).filter(|&k| costs[k] <= min + tol).collect();
         if winners.len() == 1 {
             result.strict_best_counts[winners[0]] += 1;
         }

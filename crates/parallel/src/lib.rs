@@ -1,0 +1,173 @@
+//! Order-preserving parallel primitives with a determinism contract.
+//!
+//! This crate hosts the `parallel_map` that used to live inside the
+//! experiments crate, so the scheduler core, experiments, and benches
+//! can all share one implementation. The contract every caller relies
+//! on:
+//!
+//! * **Order preservation.** `parallel_map(items, f)` returns exactly
+//!   `items.iter().map(f).collect()` — result `i` came from item `i`,
+//!   in input order, regardless of which worker computed it or when.
+//! * **Purity requirement.** `f` must be a pure function of its
+//!   argument (no interior mutability, no I/O ordering dependence).
+//!   Every `f` passed in this repo derives its output from immutable
+//!   borrows only.
+//!
+//! Together these make parallel execution *bit-identical* to sequential
+//! execution for any caller that consumes the results in order — which
+//! is how the two-phase scheduler keeps its deterministic tie-breaking
+//! while fanning trial reschedules out across cores (see
+//! `DESIGN.md` § "Incremental pricing & parallel execution").
+//!
+//! Built on `std::thread::scope`; no external dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How a parallelizable stage should execute.
+///
+/// The parallel path is the default everywhere; the sequential path is
+/// kept as a first-class mode so tests can assert bit-identical output
+/// and benches can measure the speedup.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Run on the calling thread, in input order.
+    Sequential,
+    /// Fan out across `available_parallelism` worker threads.
+    #[default]
+    Parallel,
+}
+
+/// Map `f` over `items` on all available cores, preserving input order.
+///
+/// Work is distributed by an atomic cursor (dynamic load balancing), so
+/// uneven item costs don't idle workers; each worker buffers its
+/// `(index, result)` pairs locally and the results are re-assembled in
+/// input order afterwards. Panics in `f` propagate to the caller.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    parallel_map_with_workers(items, workers, f)
+}
+
+/// [`parallel_map`] with an explicit worker count (single-worker calls
+/// run inline on the caller's thread). Exists so tests can drive the
+/// concurrent path on machines where `available_parallelism` is 1 and
+/// callers with better knowledge of the workload can size the pool.
+pub fn parallel_map_with_workers<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.extend(items.iter().map(|_| None));
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        produced.push((i, f(&items[i])));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("parallel_map worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+
+    slots.into_iter().map(|s| s.expect("every slot filled exactly once")).collect()
+}
+
+/// [`parallel_map`] with an explicit [`ExecMode`]; both modes produce
+/// identical output for pure `f`.
+pub fn map_with_mode<T, R, F>(mode: ExecMode, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    match mode {
+        ExecMode::Sequential => items.iter().map(f).collect(),
+        ExecMode::Parallel => parallel_map(items, f),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_map_with_workers(&items, 4, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn modes_agree() {
+        let items: Vec<u64> = (0..257).collect();
+        let seq = map_with_mode(ExecMode::Sequential, &items, |&x| x.wrapping_mul(0x9E37));
+        let par = map_with_mode(ExecMode::Parallel, &items, |&x| x.wrapping_mul(0x9E37));
+        let forced = parallel_map_with_workers(&items, 8, |&x| x.wrapping_mul(0x9E37));
+        assert_eq!(seq, par);
+        assert_eq!(seq, forced);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Items with wildly different costs still land in their slots.
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map_with_workers(&items, 4, |&x| {
+            let mut acc = x;
+            for _ in 0..(x % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn propagates_panics() {
+        let items: Vec<u32> = (0..128).collect();
+        let _ = parallel_map_with_workers(&items, 4, |&x| {
+            if x == 97 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -62,12 +62,7 @@ pub struct ScheduleAnalysis {
 
 impl ScheduleAnalysis {
     /// Compute the analysis.
-    pub fn of(
-        topo: &Topology,
-        catalog: &Catalog,
-        model: &CostModel,
-        schedule: &Schedule,
-    ) -> Self {
+    pub fn of(topo: &Topology, catalog: &Catalog, model: &CostModel, schedule: &Schedule) -> Self {
         let (network_cost, storage_cost) = model.schedule_cost_split(topo, catalog, schedule);
 
         // Per-storage peaks from residency profiles (piecewise linear:
@@ -140,8 +135,7 @@ impl ScheduleAnalysis {
         let mean_residency_hours =
             if cached_copies > 0 { dur_sum / cached_copies as f64 / 3600.0 } else { 0.0 };
 
-        let used: Vec<f64> =
-            storages.iter().map(|s| s.peak_bytes).filter(|&p| p > 0.0).collect();
+        let used: Vec<f64> = storages.iter().map(|s| s.peak_bytes).filter(|&p| p > 0.0).collect();
         let imbalance = if used.is_empty() {
             0.0
         } else {
@@ -184,9 +178,8 @@ impl ScheduleAnalysis {
         let _ = writeln!(out);
         let _ = writeln!(out, "busiest storages (peak utilization):");
         let mut by_util: Vec<&StorageStats> = self.storages.iter().collect();
-        by_util.sort_by(|a, b| {
-            b.peak_utilization.partial_cmp(&a.peak_utilization).expect("finite")
-        });
+        by_util
+            .sort_by(|a, b| b.peak_utilization.partial_cmp(&a.peak_utilization).expect("finite"));
         for s in by_util.iter().take(top_n) {
             let _ = writeln!(
                 out,
@@ -215,10 +208,11 @@ impl ScheduleAnalysis {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vod_core::{baselines, ivsp_solve, sorp_solve, SchedCtx, SorpConfig};
+    use vod_core::{
+        baselines, ivsp_solve_priced, sorp_solve_priced, ExecMode, SchedCtx, SorpConfig,
+    };
     use vod_topology::builders;
     use vod_workload::{CatalogConfig, RequestConfig, Workload};
-
 
     fn world() -> (Topology, Workload, CostModel, Schedule) {
         let topo = builders::paper_fig4(&builders::PaperFig4Config::default());
@@ -231,7 +225,14 @@ mod tests {
         let model = CostModel::per_hop();
         let schedule = {
             let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
-            sorp_solve(&ctx, &ivsp_solve(&ctx, &wl.requests), &SorpConfig::default()).schedule
+            sorp_solve_priced(
+                &ctx,
+                ivsp_solve_priced(&ctx, &wl.requests),
+                &SorpConfig::default(),
+                &[],
+                ExecMode::default(),
+            )
+            .schedule
         };
         (topo, wl, model, schedule)
     }

@@ -27,7 +27,12 @@ pub struct SimOptions<'a> {
 impl<'a> SimOptions<'a> {
     /// Everything on: the right setting for a resolved schedule.
     pub fn strict(requests: &'a RequestBatch) -> Self {
-        Self { requests: Some(requests), check_capacity: true, check_bandwidth: true, check_cost: true }
+        Self {
+            requests: Some(requests),
+            check_capacity: true,
+            check_bandwidth: true,
+            check_cost: true,
+        }
     }
 
     /// Structural and cost checks only — for phase-1 schedules that may
@@ -144,12 +149,8 @@ pub fn simulate(
                 let t = transfers[transfer];
                 let bw = catalog.get(t.video).bandwidth;
                 for hop in t.route.windows(2) {
-                    if let Some((_, eidx)) = topo
-                        .neighbors(hop[0])
-                        .iter()
-                        .find(|(nb, _)| *nb == hop[1])
-                        .copied()
-                        .map(|(nb, e)| (nb, e))
+                    if let Some((_, eidx)) =
+                        topo.neighbors(hop[0]).iter().find(|(nb, _)| *nb == hop[1]).copied()
                     {
                         link_demand[eidx] += bw;
                         link_streams[eidx] += 1;
@@ -159,7 +160,7 @@ pub fn simulate(
                                 let excess = link_demand[eidx] - cap;
                                 if excess > cap * 1e-9 {
                                     let w = &mut worst_link[eidx];
-                                    if w.map_or(true, |(_, e)| excess > e) {
+                                    if w.is_none_or(|(_, e)| excess > e) {
                                         *w = Some((ev.time, excess));
                                     }
                                 }
@@ -201,7 +202,7 @@ pub fn simulate(
                     let cap = topo.capacity(node);
                     if cap.is_finite() && usage > cap * (1.0 + 1e-9) + 1e-9 {
                         let w = &mut worst_capacity[ni];
-                        if w.map_or(true, |(_, u)| usage > u) {
+                        if w.is_none_or(|(_, u)| usage > u) {
                             *w = Some((ev.time, usage));
                         }
                     }
@@ -239,11 +240,8 @@ pub fn simulate(
     // (the cost model panics by contract); with broken routes already
     // reported, the costs stay at zero and the cross-check is skipped.
     let routes_ok = !violations.iter().any(|v| matches!(v, Violation::BrokenRoute { .. }));
-    let (network_cost, storage_cost) = if routes_ok {
-        model.schedule_cost_split(topo, catalog, schedule)
-    } else {
-        (0.0, 0.0)
-    };
+    let (network_cost, storage_cost) =
+        if routes_ok { model.schedule_cost_split(topo, catalog, schedule) } else { (0.0, 0.0) };
     let mut metrics = Metrics {
         total_cost: network_cost + storage_cost,
         network_cost,
@@ -313,24 +311,32 @@ pub fn simulate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vod_core::{baselines, ivsp_solve, sorp_solve, SchedCtx, SorpConfig};
+    use vod_core::{
+        baselines, ivsp_solve, ivsp_solve_priced, sorp_solve_priced, ExecMode, SchedCtx, SorpConfig,
+    };
     use vod_topology::builders;
     use vod_workload::{CatalogConfig, RequestConfig, Workload};
 
     fn world(capacity_gb: f64, seed: u64) -> (Topology, Workload) {
         let cfg = builders::PaperFig4Config { capacity_gb, ..Default::default() };
         let topo = builders::paper_fig4(&cfg);
-        let wl = Workload::generate(&topo, &CatalogConfig::small(60), &RequestConfig::paper(), seed);
+        let wl =
+            Workload::generate(&topo, &CatalogConfig::small(60), &RequestConfig::paper(), seed);
         (topo, wl)
     }
-
 
     #[test]
     fn resolved_schedule_is_fully_valid() {
         let (topo, wl) = world(5.0, 1);
         let model = CostModel::per_hop();
         let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
-        let out = sorp_solve(&ctx, &ivsp_solve(&ctx, &wl.requests), &SorpConfig::default());
+        let out = sorp_solve_priced(
+            &ctx,
+            ivsp_solve_priced(&ctx, &wl.requests),
+            &SorpConfig::default(),
+            &[],
+            ExecMode::default(),
+        );
         let report =
             simulate(&topo, &wl.catalog, &model, &out.schedule, &SimOptions::strict(&wl.requests));
         assert!(report.is_valid(), "violations: {:?}", report.violations);
@@ -391,9 +397,7 @@ mod tests {
         let direct = baselines::network_only(&ctx, &wl.requests);
         let dreport =
             simulate(&topo, &wl.catalog, &model, &direct, &SimOptions::strict(&wl.requests));
-        assert!(
-            report.metrics.warehouse_egress_bytes < dreport.metrics.warehouse_egress_bytes
-        );
+        assert!(report.metrics.warehouse_egress_bytes < dreport.metrics.warehouse_egress_bytes);
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! The discrete-event core: typed events and a time-ordered queue.
 
-use vod_cost_model::{Secs, VideoId};
-use vod_topology::NodeId;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use vod_cost_model::{Secs, VideoId};
+use vod_topology::NodeId;
 
 /// What happens at an event instant.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

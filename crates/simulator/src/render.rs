@@ -42,9 +42,7 @@ pub fn occupancy_timeline(
     let t0 = profiles.iter().map(|p| p.start).fold(f64::INFINITY, f64::min);
     let t1 = profiles.iter().map(|p| p.end).fold(f64::NEG_INFINITY, f64::max);
     let span = (t1 - t0).max(1.0);
-    let max_scale = capacity.min(1e18).max(
-        profiles.iter().map(|p| p.peak()).sum::<f64>(),
-    );
+    let max_scale = capacity.min(1e18).max(profiles.iter().map(|p| p.peak()).sum::<f64>());
 
     for b in 0..buckets {
         let t = t0 + span * (b as f64 + 0.5) / buckets as f64;
@@ -56,7 +54,11 @@ pub fn occupancy_timeline(
         let bar: String = (0..width)
             .map(|c| {
                 if c < cells {
-                    if over { '#' } else { '=' }
+                    if over {
+                        '#'
+                    } else {
+                        '='
+                    }
                 } else if c == cap_col {
                     '|'
                 } else {
@@ -64,13 +66,8 @@ pub fn occupancy_timeline(
                 }
             })
             .collect();
-        let _ = writeln!(
-            out,
-            "  {:>7.2}h [{}] {:>6.2} GB",
-            (t - t0) / 3600.0,
-            bar,
-            usage / units::GB
-        );
+        let _ =
+            writeln!(out, "  {:>7.2}h [{}] {:>6.2} GB", (t - t0) / 3600.0, bar, usage / units::GB);
     }
     out
 }
@@ -128,8 +125,7 @@ mod tests {
 
     fn setup() -> (Topology, Catalog, Schedule) {
         let topo = builders::paper_fig2(16.0, 8.0, 1.0, 3.0);
-        let video =
-            Video::new(VideoId(0), units::gb(2.5), units::minutes(90.0), units::mbps(6.0));
+        let video = Video::new(VideoId(0), units::gb(2.5), units::minutes(90.0), units::mbps(6.0));
         let catalog = Catalog::new(vec![video]);
         let r0 = Request { user: UserId(0), video: VideoId(0), start: 0.0 };
         let r1 = Request { user: UserId(1), video: VideoId(0), start: 7_200.0 };
@@ -177,8 +173,7 @@ mod tests {
         let (topo, catalog, mut s) = setup();
         // Duplicate the copy via a second video to exceed 3 GB.
         let video2 = Video::new(VideoId(1), units::gb(2.5), units::minutes(90.0), units::mbps(6.0));
-        let catalog =
-            Catalog::new(vec![*catalog.get(VideoId(0)), video2]);
+        let catalog = Catalog::new(vec![*catalog.get(VideoId(0)), video2]);
         let r = Request { user: UserId(0), video: VideoId(1), start: 0.0 };
         let r2 = Request { user: UserId(1), video: VideoId(1), start: 7_200.0 };
         let mut vs = VideoSchedule::new(VideoId(1));

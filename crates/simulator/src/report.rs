@@ -174,10 +174,7 @@ mod tests {
     fn empty_report_is_valid() {
         assert!(SimReport::default().is_valid());
         let r = SimReport {
-            violations: vec![Violation::DuplicateDelivery {
-                user: UserId(0),
-                video: VideoId(0),
-            }],
+            violations: vec![Violation::DuplicateDelivery { user: UserId(0), video: VideoId(0) }],
             ..Default::default()
         };
         assert!(!r.is_valid());

@@ -77,9 +77,10 @@ fn check_sources(topo: &Topology, schedule: &Schedule, out: &mut Vec<Violation>)
             if topo.is_warehouse(src) {
                 continue;
             }
-            let covered = vs.residencies.iter().any(|r| {
-                r.loc == src && r.start <= t.start && t.start <= r.last_service
-            });
+            let covered = vs
+                .residencies
+                .iter()
+                .any(|r| r.loc == src && r.start <= t.start && t.start <= r.last_service);
             if !covered {
                 out.push(Violation::SourceHasNoData { video: t.video, src, start: t.start });
             }
@@ -199,9 +200,7 @@ mod tests {
         let mut s = Schedule::new();
         s.upsert(vs);
         let v = run(&s, Some(&batch(vec![req(0, 100.0)])));
-        assert!(v
-            .iter()
-            .any(|x| matches!(x, Violation::WrongDestination { got: NodeId(2), .. })));
+        assert!(v.iter().any(|x| matches!(x, Violation::WrongDestination { got: NodeId(2), .. })));
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! The remaining generators (star, line, ring, tree, random) support the
 //! extended test/benchmark suite.
 
-use crate::{NodeId, Topology, TopologyBuilder, units};
+use crate::{units, NodeId, Topology, TopologyBuilder};
 
 /// Parameters for [`paper_fig4`] (defaults = the paper's Table 4 baseline).
 #[derive(Clone, Debug)]
@@ -114,16 +114,10 @@ pub fn paper_fig2(
 ) -> Topology {
     let mut b = TopologyBuilder::new();
     let vw = b.add_warehouse("VW");
-    let is1 = b.add_storage(
-        "IS1",
-        units::srate_per_gb_hour(srate_per_gb_hour),
-        units::gb(capacity_gb),
-    );
-    let is2 = b.add_storage(
-        "IS2",
-        units::srate_per_gb_hour(srate_per_gb_hour),
-        units::gb(capacity_gb),
-    );
+    let is1 =
+        b.add_storage("IS1", units::srate_per_gb_hour(srate_per_gb_hour), units::gb(capacity_gb));
+    let is2 =
+        b.add_storage("IS2", units::srate_per_gb_hour(srate_per_gb_hour), units::gb(capacity_gb));
     b.connect(vw, is1, units::nrate_per_gb(nrate_vw_is1_per_gb)).expect("fig2 edge");
     b.connect(is1, is2, units::nrate_per_gb(nrate_is1_is2_per_gb)).expect("fig2 edge");
     b.add_users(is1, 1);
@@ -217,11 +211,7 @@ pub fn ring(cfg: &GenConfig) -> Topology {
 pub fn binary_tree(cfg: &GenConfig) -> Topology {
     let (mut b, vw, storages, nrate) = start(cfg);
     for (i, &s) in storages.iter().enumerate() {
-        let parent = if i == 0 {
-            vw
-        } else {
-            storages[(i - 1) / 2]
-        };
+        let parent = if i == 0 { vw } else { storages[(i - 1) / 2] };
         b.connect(parent, s, nrate).expect("tree edge");
     }
     finish(b, &storages, cfg.users_per_neighborhood)
@@ -321,12 +311,8 @@ pub fn hierarchical(cfg: &HierarchicalConfig) -> Topology {
 
     let mut all_storages = hubs.clone();
     for (hi, &hub) in hubs.iter().enumerate() {
-        let k = cfg
-            .leaves_per_region
-            .get(hi)
-            .or(cfg.leaves_per_region.last())
-            .copied()
-            .unwrap_or(0);
+        let k =
+            cfg.leaves_per_region.get(hi).or(cfg.leaves_per_region.last()).copied().unwrap_or(0);
         for li in 0..k {
             let leaf = b.add_storage(format!("L{hi}{li}"), srate, cap);
             b.connect(hub, leaf, nrate).expect("leaf link");
@@ -416,13 +402,9 @@ mod tests {
     #[test]
     fn generators_build_connected_graphs() {
         let cfg = GenConfig { storages: 7, ..GenConfig::default() };
-        for t in [
-            star(&cfg),
-            line(&cfg),
-            ring(&cfg),
-            binary_tree(&cfg),
-            random_connected(&cfg, 4, 42),
-        ] {
+        for t in
+            [star(&cfg), line(&cfg), ring(&cfg), binary_tree(&cfg), random_connected(&cfg, 4, 42)]
+        {
             assert_eq!(t.storage_count(), 7);
             assert_eq!(t.user_count(), 7 * cfg.users_per_neighborhood);
             // build() already enforces connectivity; sanity-check routing.

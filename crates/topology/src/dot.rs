@@ -42,11 +42,8 @@ pub fn to_dot(topo: &Topology) -> String {
             Some(b) => format!(", {:.0} Mbps", b / units::MEGABIT),
             None => String::new(),
         };
-        let _ = writeln!(
-            out,
-            "    n{} -- n{} [label=\"{:.0}$/GB{}\"];",
-            e.a.0, e.b.0, rate_per_gb, bw
-        );
+        let _ =
+            writeln!(out, "    n{} -- n{} [label=\"{:.0}$/GB{}\"];", e.a.0, e.b.0, rate_per_gb, bw);
     }
     out.push_str("}\n");
     out

@@ -143,10 +143,7 @@ impl Topology {
 
     /// The edge between `a` and `b`, if one exists.
     pub fn edge_between(&self, a: NodeId, b: NodeId) -> Option<&Edge> {
-        self.adj[a.index()]
-            .iter()
-            .find(|(n, _)| *n == b)
-            .map(|&(_, e)| &self.edges[e])
+        self.adj[a.index()].iter().find(|(n, _)| *n == b).map(|&(_, e)| &self.edges[e])
     }
 
     /// All users.
@@ -290,12 +287,7 @@ impl TopologyBuilder {
         if let Err(e) = validate_rate("capacity", capacity) {
             self.error.get_or_insert(e);
         }
-        self.nodes.push(NodeInfo {
-            kind: NodeKind::Storage,
-            name: name.into(),
-            srate,
-            capacity,
-        });
+        self.nodes.push(NodeInfo { kind: NodeKind::Storage, name: name.into(), srate, capacity });
         id
     }
 
@@ -320,11 +312,7 @@ impl TopologyBuilder {
                 return Err(TopologyError::UnknownNode(n));
             }
         }
-        if self
-            .edges
-            .iter()
-            .any(|e| (e.a == a && e.b == b) || (e.a == b && e.b == a))
-        {
+        if self.edges.iter().any(|e| (e.a == a && e.b == b) || (e.a == b && e.b == a)) {
             return Err(TopologyError::DuplicateEdge(a, b));
         }
         validate_rate("nrate", nrate)?;

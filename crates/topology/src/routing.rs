@@ -121,11 +121,8 @@ impl RouteTable {
                     if better {
                         dist[nb.index()] = cand;
                         hops[nb.index()] = cand_hops;
-                        first_hop[nb.index()] = if node == src {
-                            Some(nb)
-                        } else {
-                            first_hop[node.index()]
-                        };
+                        first_hop[nb.index()] =
+                            if node == src { Some(nb) } else { first_hop[node.index()] };
                         heap.push(HeapEntry { cost: cand, node: nb });
                     }
                 }
@@ -179,7 +176,7 @@ fn first_hop_for(first_hop: &[Option<NodeId>], via: NodeId, src: NodeId, nb: Nod
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{TopologyBuilder, units};
+    use crate::{units, TopologyBuilder};
 
     /// VW -(3)- IS1 -(1)- IS2, plus a direct VW -(5)- IS2 shortcut that is
     /// more expensive than the two-hop route.
@@ -278,7 +275,14 @@ mod tests {
         let t = b.build().unwrap();
         let rt = RouteTable::build(&t);
 
-        fn brute(t: &Topology, cur: NodeId, dst: NodeId, seen: &mut Vec<NodeId>, cost: f64, best: &mut f64) {
+        fn brute(
+            t: &Topology,
+            cur: NodeId,
+            dst: NodeId,
+            seen: &mut Vec<NodeId>,
+            cost: f64,
+            best: &mut f64,
+        ) {
             if cur == dst {
                 *best = best.min(cost);
                 return;

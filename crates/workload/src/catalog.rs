@@ -77,9 +77,8 @@ pub fn generate_catalog(cfg: &CatalogConfig, seed: u64) -> Catalog {
     let bandwidth = units::mbps(cfg.bandwidth_mbps);
     let videos = (0..cfg.videos)
         .map(|i| {
-            let playback = units::minutes(
-                rng.range_f64(cfg.playback_min_minutes, cfg.playback_max_minutes),
-            );
+            let playback =
+                units::minutes(rng.range_f64(cfg.playback_min_minutes, cfg.playback_max_minutes));
             let size = playback * bandwidth * cfg.storage_factor;
             Video::new(VideoId(i as u32), size, playback, bandwidth)
         })

@@ -99,11 +99,7 @@ pub fn generate_requests(
 fn sample_triangular(rng: &mut SplitMix64, horizon: f64, peak_fraction: f64) -> f64 {
     let c = peak_fraction;
     let u = rng.next_f64();
-    let x = if u < c {
-        (u * c).sqrt()
-    } else {
-        1.0 - ((1.0 - u) * (1.0 - c)).sqrt()
-    };
+    let x = if u < c { (u * c).sqrt() } else { 1.0 - ((1.0 - u) * (1.0 - c)).sqrt() };
     x * horizon
 }
 
@@ -163,17 +159,13 @@ mod tests {
     fn lower_alpha_concentrates_requests() {
         let (topo, catalog) = setup();
         let distinct = |alpha: f64| {
-            let batch =
-                generate_requests(&topo, &catalog, &RequestConfig::with_alpha(alpha), 11);
+            let batch = generate_requests(&topo, &catalog, &RequestConfig::with_alpha(alpha), 11);
             batch.video_count()
         };
         // More skew (smaller α) → fewer distinct titles requested.
         let skewed = distinct(0.0);
         let uniform = distinct(1.0);
-        assert!(
-            skewed < uniform,
-            "distinct titles: alpha=0 gave {skewed}, alpha=1 gave {uniform}"
-        );
+        assert!(skewed < uniform, "distinct titles: alpha=0 gave {skewed}, alpha=1 gave {uniform}");
     }
 
     #[test]
@@ -188,11 +180,7 @@ mod tests {
         let horizon = 24.0 * 3600.0;
         let mean: f64 = batch.iter().map(|r| r.start).sum::<f64>() / batch.len() as f64;
         // Triangular(0, 0.75h, h) has mean (0 + 0.75h + h)/3 ≈ 0.583h.
-        assert!(
-            (mean / horizon - 0.583).abs() < 0.02,
-            "mean arrival fraction {}",
-            mean / horizon
-        );
+        assert!((mean / horizon - 0.583).abs() < 0.02, "mean arrival fraction {}", mean / horizon);
         for r in batch.iter() {
             assert!((0.0..horizon).contains(&r.start));
         }

@@ -217,9 +217,7 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_are_ignored() {
-        let csv = format!(
-            "# a comment\n\n{REQUEST_HEADER}\n# another\n3,1,42.5\n\n"
-        );
+        let csv = format!("# a comment\n\n{REQUEST_HEADER}\n# another\n3,1,42.5\n\n");
         let batch = requests_from_csv(&csv).unwrap();
         assert_eq!(batch.len(), 1);
         let r = batch.iter().next().unwrap();
@@ -236,14 +234,12 @@ mod tests {
 
     #[test]
     fn bad_rows_report_line_numbers() {
-        let err =
-            requests_from_csv(&format!("{REQUEST_HEADER}\n1,2\n")).unwrap_err();
+        let err = requests_from_csv(&format!("{REQUEST_HEADER}\n1,2\n")).unwrap_err();
         match err {
             TraceError::BadRow { line, .. } => assert_eq!(line, 2),
             other => panic!("unexpected {other:?}"),
         }
-        let err =
-            requests_from_csv(&format!("{REQUEST_HEADER}\n1,2,NaN\n")).unwrap_err();
+        let err = requests_from_csv(&format!("{REQUEST_HEADER}\n1,2,NaN\n")).unwrap_err();
         assert!(matches!(err, TraceError::BadRow { .. }));
         let err = requests_from_csv(&format!("{REQUEST_HEADER}\nx,2,3\n")).unwrap_err();
         assert!(err.to_string().contains("user id"));

@@ -31,10 +31,7 @@ impl Zipf {
     /// parameter range; exponent `1 − α` must stay non-negative).
     pub fn new(n: usize, alpha: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
-        assert!(
-            (0.0..=1.0).contains(&alpha),
-            "alpha must lie in [0, 1], got {alpha}"
-        );
+        assert!((0.0..=1.0).contains(&alpha), "alpha must lie in [0, 1], got {alpha}");
         let exponent = 1.0 - alpha;
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
@@ -137,13 +134,13 @@ mod tests {
         let z = Zipf::new(20, 0.271);
         let mut rng = SplitMix64::new(31337);
         let n = 200_000;
-        let mut counts = vec![0usize; 20];
+        let mut counts = [0usize; 20];
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for i in 0..20 {
+        for (i, &count) in counts.iter().enumerate() {
             let expected = z.pmf(i) * n as f64;
-            let got = counts[i] as f64;
+            let got = count as f64;
             // 5 sigma of a binomial.
             let sigma = (expected * (1.0 - z.pmf(i))).sqrt();
             assert!(

@@ -15,16 +15,9 @@ use vod_paradigm::workload::{CatalogConfig, RequestConfig, Workload};
 
 fn main() {
     // Small stores + skewed demand = plenty of storage overflow to resolve.
-    let topo = builders::paper_fig4(&builders::PaperFig4Config {
-        capacity_gb: 5.0,
-        ..Default::default()
-    });
-    let wl = Workload::generate(
-        &topo,
-        &CatalogConfig::paper(),
-        &RequestConfig::with_alpha(0.1),
-        7,
-    );
+    let topo =
+        builders::paper_fig4(&builders::PaperFig4Config { capacity_gb: 5.0, ..Default::default() });
+    let wl = Workload::generate(&topo, &CatalogConfig::paper(), &RequestConfig::with_alpha(0.1), 7);
     let model = CostModel::per_hop();
     let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
 
@@ -49,7 +42,7 @@ fn main() {
             outcome.victims.len(),
             outcome.iterations,
         );
-        if best.map_or(true, |(_, c)| outcome.cost < c) {
+        if best.is_none_or(|(_, c)| outcome.cost < c) {
             best = Some((metric, outcome.cost));
         }
     }

@@ -17,10 +17,8 @@ use vod_paradigm::simulator::{simulate, SimOptions};
 use vod_paradigm::workload::{generate_requests, ArrivalPattern, CatalogConfig, RequestConfig};
 
 fn main() {
-    let topo = builders::paper_fig4(&builders::PaperFig4Config {
-        capacity_gb: 8.0,
-        ..Default::default()
-    });
+    let topo =
+        builders::paper_fig4(&builders::PaperFig4Config { capacity_gb: 8.0, ..Default::default() });
     let catalog = vod_paradigm::workload::generate_catalog(&CatalogConfig::paper(), 2024);
     let request_cfg = RequestConfig {
         zipf_alpha: 0.271,

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate: build, tests, formatting, lints.
+# Usage: scripts/check.sh  (from anywhere; runs at the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --offline -- -D warnings
+
+echo "All checks passed."

@@ -1,0 +1,238 @@
+//! Offline miniature stand-in for the `criterion` benchmark harness.
+//!
+//! The workspace builds hermetically (no crates.io), so this shim
+//! provides the slice of criterion's API the bench crate uses —
+//! `Criterion`, `benchmark_group`/`sample_size`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter`/`iter_batched`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros —
+//! backed by a simple wall-clock sampler.
+//!
+//! Measurement model: each benchmark auto-calibrates an iteration batch
+//! so one sample lasts ≥ ~2 ms (or a single iteration for slow
+//! routines), takes `sample_size` samples, and reports min / median /
+//! max per-iteration time. There is no outlier analysis, HTML report,
+//! or saved baseline — swap in the real crate for those. Numbers from
+//! this harness are comparable *within* one machine and run, which is
+//! all the repo's EXPERIMENTS.md tables claim.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Mirror of `criterion::BatchSize`. The shim sizes batches itself, so
+/// this is advisory only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output (one routine call per sample).
+    LargeInput,
+    /// Re-run setup for every routine call.
+    PerIteration,
+}
+
+/// Mirror of `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Build an id from the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Collected per-iteration sample times for one benchmark.
+#[derive(Default)]
+struct Samples {
+    per_iter_ns: Vec<f64>,
+}
+
+impl Samples {
+    fn record(&mut self, total: Duration, iters: u64) {
+        self.per_iter_ns.push(total.as_nanos() as f64 / iters.max(1) as f64);
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.per_iter_ns.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        self.per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        let min = self.per_iter_ns[0];
+        let max = *self.per_iter_ns.last().expect("non-empty");
+        let median = self.per_iter_ns[self.per_iter_ns.len() / 2];
+        println!("{name:<50} time: [{} {} {}]", fmt_ns(min), fmt_ns(median), fmt_ns(max));
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Mirror of `criterion::Bencher`: hands the routine to the sampler.
+pub struct Bencher<'a> {
+    sample_size: usize,
+    samples: &'a mut Samples,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, auto-batching fast routines so each sample is
+    /// long enough for the OS clock to resolve.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the batch until one batch takes >= 2 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                self.samples.record(elapsed, iters);
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        for _ in 1..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples.record(start.elapsed(), iters);
+        }
+    }
+
+    /// Time `routine` on fresh `setup()` output, excluding setup time.
+    /// One routine call per sample (appropriate for the large inputs the
+    /// bench crate feeds through this path).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.record(start.elapsed(), 1);
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher<'_>)>(name: &str, sample_size: usize, mut f: F) {
+    let mut samples = Samples::default();
+    f(&mut Bencher { sample_size, samples: &mut samples });
+    samples.report(name);
+}
+
+/// Mirror of `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Mirror of `Criterion::sample_size`.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(id, self.sample_size, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// Mirror of `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Mirror of `BenchmarkGroup::sample_size`.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run a benchmark within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Run a parameterized benchmark within this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        run_bench(&format!("{}/{}", self.name, id), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Close the group (no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Mirror of `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,95 @@
+//! The case runner and its deterministic RNG.
+
+/// Configuration accepted by `#![proptest_config(..)]`. Only the fields
+/// the repo's tests set are modeled.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+    /// Give up after this many rejected cases (`prop_assume!` misses).
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+/// Outcome of a single property case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: draw a fresh case, don't count this one.
+    Reject(String),
+    /// `prop_assert!` failed: the property is violated.
+    Fail(String),
+}
+
+/// SplitMix64: tiny, fast, and deterministic — every test run explores
+/// the same case stream for a given property name.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from raw state.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Seed deterministically from a property name.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name, then a splitmix scramble.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::new(h)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[lo, hi)` (degenerate ranges return `lo`).
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+/// Drive one property: call `case` until `config.cases` successes.
+///
+/// Panics (failing the enclosing `#[test]`) on the first `Fail`, or if
+/// the rejection budget is exhausted.
+pub fn run<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::from_name(name);
+    let mut successes = 0u32;
+    let mut rejects = 0u32;
+    while successes < config.cases {
+        match case(&mut rng) {
+            Ok(()) => successes += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "{name}: exhausted rejection budget ({} rejects) after {} successes",
+                        rejects, successes
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: property failed at case {}: {msg}", successes + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace compiles hermetically (no crates.io), and today serde is
+//! used purely as decoration: `#[derive(Serialize, Deserialize)]` on data
+//! types plus the occasional `T: serde::Serialize` bound. This shim keeps
+//! that surface compiling with zero behavior:
+//!
+//! * the derive macros (re-exported from the `serde_derive` shim) expand
+//!   to nothing, and
+//! * the traits carry blanket impls, so every type trivially satisfies
+//!   `Serialize` / `Deserialize` bounds.
+//!
+//! If a future PR needs real serialization, replace the `shims/serde`
+//! path dependency with the genuine crate (or vendor it) — call sites
+//! will not change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`; blanket-implemented for all
+/// types so derive-decorated structs satisfy `T: Serialize` bounds.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`; blanket-implemented for
+/// all sized types.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Mirror of `serde::ser` for code that names the module path.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Mirror of `serde::de` for code that names the module path.
+pub mod de {
+    pub use crate::Deserialize;
+}

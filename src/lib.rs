@@ -38,5 +38,7 @@ pub mod prelude {
         Catalog, ChargingBasis, CostModel, Request, RequestBatch, Residency, Schedule, Transfer,
         Video, VideoId, VideoSchedule,
     };
-    pub use vod_topology::{builders, units, NodeId, RouteTable, Topology, TopologyBuilder, UserId};
+    pub use vod_topology::{
+        builders, units, NodeId, RouteTable, Topology, TopologyBuilder, UserId,
+    };
 }

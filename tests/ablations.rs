@@ -76,8 +76,8 @@ fn greedy_policies_order_as_expected() {
         &wl.requests,
         GreedyPolicy { allow_new_caches: false, ..Default::default() },
     ));
-    let network_only = ctx
-        .schedule_cost(&vod_paradigm::core::baselines::network_only(&ctx, &wl.requests));
+    let network_only =
+        ctx.schedule_cost(&vod_paradigm::core::baselines::network_only(&ctx, &wl.requests));
 
     assert!(full <= local_only + 1e-6, "{full} vs local-only {local_only}");
     assert!(local_only <= no_caching + 1e-6, "{local_only} vs no-caching {no_caching}");
@@ -111,14 +111,10 @@ fn gradual_fill_encourages_caching() {
 
     let ctx_i = SchedCtx::new(&topo, &instant, &wl.catalog);
     let ctx_g = SchedCtx::new(&topo, &gradual, &wl.catalog);
-    let cached_i = ivsp_solve(&ctx_i, &wl.requests)
-        .residencies()
-        .filter(|r| r.duration() > 0.0)
-        .count();
-    let cached_g = ivsp_solve(&ctx_g, &wl.requests)
-        .residencies()
-        .filter(|r| r.duration() > 0.0)
-        .count();
+    let cached_i =
+        ivsp_solve(&ctx_i, &wl.requests).residencies().filter(|r| r.duration() > 0.0).count();
+    let cached_g =
+        ivsp_solve(&ctx_g, &wl.requests).residencies().filter(|r| r.duration() > 0.0).count();
     // Not guaranteed strictly greater in every instance, but it must never
     // collapse: allow equality, forbid a large drop.
     assert!(

@@ -10,10 +10,8 @@ use vod_paradigm::simulator::{simulate, SimOptions};
 use vod_paradigm::workload::{CatalogConfig, RequestConfig, Workload};
 
 fn paper_world(capacity_gb: f64, alpha: f64, seed: u64) -> (Topology, Workload) {
-    let topo = builders::paper_fig4(&builders::PaperFig4Config {
-        capacity_gb,
-        ..Default::default()
-    });
+    let topo =
+        builders::paper_fig4(&builders::PaperFig4Config { capacity_gb, ..Default::default() });
     let wl = Workload::generate(
         &topo,
         &CatalogConfig::small(80),
@@ -30,8 +28,7 @@ fn pipeline_is_valid_across_seeds_and_capacities() {
             let (topo, wl) = paper_world(capacity, 0.271, seed);
             let model = CostModel::per_hop();
             let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
-            let outcome =
-                sorp_solve(&ctx, &ivsp_solve(&ctx, &wl.requests), &SorpConfig::default());
+            let outcome = sorp_solve(&ctx, &ivsp_solve(&ctx, &wl.requests), &SorpConfig::default());
             assert!(outcome.overflow_free, "seed {seed} cap {capacity}");
             let report = simulate(
                 &topo,
@@ -40,11 +37,7 @@ fn pipeline_is_valid_across_seeds_and_capacities() {
                 &outcome.schedule,
                 &SimOptions::strict(&wl.requests),
             );
-            assert!(
-                report.is_valid(),
-                "seed {seed} cap {capacity}: {:?}",
-                report.violations
-            );
+            assert!(report.is_valid(), "seed {seed} cap {capacity}: {:?}", report.violations);
             assert_eq!(report.metrics.deliveries, wl.requests.len());
         }
     }
@@ -90,10 +83,7 @@ fn resolved_ledger_is_overflow_free_under_every_metric() {
     for metric in HeatMetric::ALL {
         let outcome = sorp_solve(&ctx, &phase1, &SorpConfig::with_metric(metric));
         let ledger = StorageLedger::from_schedule(&topo, &wl.catalog, &outcome.schedule);
-        assert!(
-            detect_overflows(&topo, &ledger).is_empty(),
-            "metric {metric} left an overflow"
-        );
+        assert!(detect_overflows(&topo, &ledger).is_empty(), "metric {metric} left an overflow");
     }
 }
 

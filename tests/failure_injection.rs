@@ -57,10 +57,7 @@ fn dropping_a_delivery_is_detected() {
     tampered.transfers.remove(pos);
     s.upsert(tampered);
     let v = violations(&w, &s);
-    assert!(
-        v.iter().any(|x| matches!(x, Violation::MissingDelivery { .. })),
-        "got {v:?}"
-    );
+    assert!(v.iter().any(|x| matches!(x, Violation::MissingDelivery { .. })), "got {v:?}");
 }
 
 #[test]
@@ -87,11 +84,7 @@ fn rerouting_to_the_wrong_neighborhood_is_detected() {
     let mut s = w.schedule.clone();
     let vs0 = s.videos().next().unwrap().clone();
     let mut tampered = vs0.clone();
-    let t = tampered
-        .transfers
-        .iter_mut()
-        .find(|t| t.user.is_some())
-        .expect("delivery exists");
+    let t = tampered.transfers.iter_mut().find(|t| t.user.is_some()).expect("delivery exists");
     // Terminate the route one hop early (or extend it) so dst ≠ home.
     if t.route.len() >= 2 {
         t.route.pop();
@@ -198,11 +191,8 @@ fn capacity_violation_is_detected_with_exact_location() {
     let loc = tampered.residencies.iter().find(|r| r.duration() > 0.0).unwrap().loc;
     for k in 0..4 {
         let start = 1000.0 * k as f64;
-        let mut r = Residency::begin(loc, w.topo.warehouse(), Request {
-            user: UserId(k),
-            video,
-            start,
-        });
+        let mut r =
+            Residency::begin(loc, w.topo.warehouse(), Request { user: UserId(k), video, start });
         r.extend(Request { user: UserId(k), video, start: start + 80_000.0 });
         tampered.residencies.push(r);
     }

@@ -5,12 +5,7 @@
 use vod_paradigm::experiments::{figures, table5, Preset, Series};
 
 fn gaps(direct: &Series, with_is: &Series) -> Vec<f64> {
-    direct
-        .points
-        .iter()
-        .zip(&with_is.points)
-        .map(|(d, w)| d.1 - w.1)
-        .collect()
+    direct.points.iter().zip(&with_is.points).map(|(d, w)| d.1 - w.1).collect()
 }
 
 /// §5.2 / Fig. 5: "The advantage of using intermediate storage becomes
@@ -41,8 +36,7 @@ fn fig5_advantage_grows_with_network_rate() {
 #[test]
 fn fig5_storage_rate_effect_is_second_order() {
     let f = figures::fig5(Preset::Fast);
-    let lines: Vec<&Series> =
-        f.series.iter().filter(|s| s.label.starts_with("srate")).collect();
+    let lines: Vec<&Series> = f.series.iter().filter(|s| s.label.starts_with("srate")).collect();
     assert!(lines.len() >= 2);
     let first = lines.first().unwrap();
     let last = lines.last().unwrap();
@@ -144,8 +138,18 @@ fn table5_ratio_metrics_dominate() {
         100.0 * r.m2_or_m4_share()
     );
     // Each ratio metric beats its non-ratio counterpart overall.
-    assert!(r.best_counts[1] >= r.best_counts[0], "m2 {} vs m1 {}", r.best_counts[1], r.best_counts[0]);
-    assert!(r.best_counts[3] >= r.best_counts[2], "m4 {} vs m3 {}", r.best_counts[3], r.best_counts[2]);
+    assert!(
+        r.best_counts[1] >= r.best_counts[0],
+        "m2 {} vs m1 {}",
+        r.best_counts[1],
+        r.best_counts[0]
+    );
+    assert!(
+        r.best_counts[3] >= r.best_counts[2],
+        "m4 {} vs m3 {}",
+        r.best_counts[3],
+        r.best_counts[2]
+    );
 }
 
 /// The Fig. 2 worked example, end to end through the public API.

@@ -4,8 +4,9 @@
 
 use proptest::prelude::*;
 use vod_paradigm::core::{
-    baselines, detect_overflows, ivsp_solve, reschedule_video, sorp_solve, Constraints,
-    HeatMetric, Interval, SchedCtx, SorpConfig, StorageLedger,
+    baselines, detect_overflows, ivsp_solve, ivsp_solve_priced, ivsp_solve_with_mode,
+    reschedule_video, sorp_solve, sorp_solve_priced, Constraints, ExecMode, GreedyPolicy,
+    HeatMetric, Interval, PricedSchedule, SchedCtx, SorpConfig, StorageLedger,
 };
 use vod_paradigm::prelude::*;
 use vod_paradigm::simulator::{simulate, SimOptions};
@@ -210,5 +211,74 @@ proptest! {
         let gamma = (dur / playback).min(1.0);
         let expected = gamma * size * (dur + playback / 2.0);
         prop_assert!((full - expected).abs() <= 1e-9 * full.max(1.0));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Incremental pricing & deterministic parallelism (the priced pipeline)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The running total maintained through per-victim delta commits
+    /// equals a full Ψ recompute of the final resolved schedule within
+    /// 1e-6 (relative), on arbitrary random workloads.
+    #[test]
+    fn incremental_pricing_matches_full_recompute(w in world_strategy()) {
+        let (topo, catalog, requests) = build(&w);
+        prop_assume!(!requests.is_empty());
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+        let outcome = sorp_solve_priced(
+            &ctx,
+            ivsp_solve_priced(&ctx, &requests),
+            &SorpConfig::default(),
+            &[],
+            ExecMode::default(),
+        );
+        let full = ctx.schedule_cost(&outcome.schedule);
+        prop_assert!(
+            (outcome.cost - full).abs() <= 1e-6 * full.abs().max(1.0),
+            "incremental Ψ {} diverged from recomputed Ψ {}",
+            outcome.cost,
+            full
+        );
+        // Phase-1 pricing itself is bit-identical to the closed form.
+        let phase1 = ivsp_solve_priced(&ctx, &requests);
+        prop_assert_eq!(
+            phase1.total().to_bits(),
+            ctx.schedule_cost(phase1.schedule()).to_bits()
+        );
+    }
+
+    /// Parallel execution is bit-identical to sequential in both phases:
+    /// same schedules, same victims, and the same Ψ down to the last bit.
+    #[test]
+    fn parallel_pipeline_is_bit_identical_to_sequential(w in world_strategy()) {
+        let (topo, catalog, requests) = build(&w);
+        prop_assume!(!requests.is_empty());
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+
+        let seq1 = ivsp_solve_with_mode(
+            &ctx, &requests, GreedyPolicy::default(), ExecMode::Sequential,
+        );
+        let par1 = ivsp_solve_with_mode(
+            &ctx, &requests, GreedyPolicy::default(), ExecMode::Parallel,
+        );
+        prop_assert_eq!(&seq1, &par1);
+
+        let cfg = SorpConfig::default();
+        let seq = sorp_solve_priced(
+            &ctx, PricedSchedule::price(&ctx, seq1), &cfg, &[], ExecMode::Sequential,
+        );
+        let par = sorp_solve_priced(
+            &ctx, PricedSchedule::price(&ctx, par1), &cfg, &[], ExecMode::Parallel,
+        );
+        prop_assert_eq!(&seq.schedule, &par.schedule);
+        prop_assert_eq!(seq.cost.to_bits(), par.cost.to_bits());
+        prop_assert_eq!(seq.iterations, par.iterations);
+        prop_assert_eq!(seq.victims.len(), par.victims.len());
     }
 }

@@ -24,11 +24,8 @@ fn prelude_covers_the_quickstart_flow() {
     let model = CostModel::per_hop();
     let ctx = vod_paradigm::core::SchedCtx::new(&topo, &model, &catalog);
     let schedule = vod_paradigm::core::ivsp_solve(&ctx, &batch);
-    let outcome = vod_paradigm::core::sorp_solve(
-        &ctx,
-        &schedule,
-        &vod_paradigm::core::SorpConfig::default(),
-    );
+    let outcome =
+        vod_paradigm::core::sorp_solve(&ctx, &schedule, &vod_paradigm::core::SorpConfig::default());
     assert!(outcome.overflow_free);
     assert!(outcome.cost > 0.0);
 
@@ -63,11 +60,7 @@ fn schedules_serialize_with_serde() {
     // The data model derives Serialize; a trivial serializer round-trip
     // through the Debug representation guards the derive wiring (no JSON
     // crate in the dependency budget).
-    let batch = RequestBatch::new(vec![Request {
-        user: UserId(0),
-        video: VideoId(0),
-        start: 1.0,
-    }]);
+    let batch = RequestBatch::new(vec![Request { user: UserId(0), video: VideoId(0), start: 1.0 }]);
     // Compile-time check that the types implement Serialize.
     fn assert_serialize<T: serde::Serialize>(_: &T) {}
     assert_serialize(&batch);
