@@ -1,0 +1,228 @@
+//! Naive ledger vs incremental occupancy timeline: the admission-test
+//! hot path (`StorageLedger::fits`), `peak_with`, `usage_at`, and
+//! add/remove churn at 10 / 100 / 1000 residencies per node.
+//!
+//! Besides the criterion report, the bench writes a machine-readable
+//! summary (median ns/op per implementation and the speedup ratios) to
+//! `results/BENCH_capacity.json`. In `--test` smoke mode everything runs
+//! once and the measured JSON artifact is left untouched.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+use vod_core::{LedgerCursor, LedgerMode, StorageLedger};
+use vod_cost_model::{SpaceProfile, VideoId};
+use vod_topology::{builders, units, NodeId, Topology};
+use vod_workload::SplitMix64;
+
+/// One day of absolute time, the span residencies are drawn from.
+const DAY: f64 = 86_400.0;
+
+fn topo() -> Topology {
+    // Capacity chosen tight relative to the load so the plateau-sum fast
+    // path does NOT short-circuit: the bench must measure the walk.
+    builders::paper_fig2(16.0, 8.0, 1.0, 5.0)
+}
+
+/// `n` deterministic residency profiles at NodeId(1).
+fn profiles(n: usize, seed: u64) -> Vec<(VideoId, SpaceProfile)> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|i| {
+            let start = rng.range_f64(0.0, DAY);
+            let hold = rng.range_f64(0.0, DAY / 8.0);
+            let size = units::gb(rng.range_f64(0.1, 2.0));
+            let playback = rng.range_f64(900.0, 5400.0);
+            (VideoId(i as u32), SpaceProfile::new(start, start + hold, size, playback))
+        })
+        .collect()
+}
+
+fn ledger_with(
+    topo: &Topology,
+    items: &[(VideoId, SpaceProfile)],
+    mode: LedgerMode,
+) -> StorageLedger {
+    let mut l = StorageLedger::new(topo);
+    l.set_mode(mode);
+    for (v, p) in items {
+        l.add(NodeId(1), *v, *p);
+    }
+    l
+}
+
+/// Deterministic candidate profiles for the admission-test loop.
+fn candidates(n: usize, seed: u64) -> Vec<SpaceProfile> {
+    profiles(n, seed).into_iter().map(|(_, p)| p).collect()
+}
+
+/// Median ns per call of `f` (which runs one whole candidate sweep and
+/// returns how many calls it made).
+fn measure<F: FnMut() -> usize>(mut f: F, smoke: bool) -> f64 {
+    let samples = if smoke { 1 } else { 15 };
+    let mut per_call: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            let calls = std::hint::black_box(f());
+            start.elapsed().as_nanos() as f64 / calls.max(1) as f64
+        })
+        .collect();
+    per_call.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    per_call[per_call.len() / 2]
+}
+
+struct Row {
+    op: &'static str,
+    n: usize,
+    naive_ns: f64,
+    timeline_ns: f64,
+}
+
+fn emit_json(rows: &[Row], smoke: bool) {
+    if smoke {
+        // Smoke runs execute once without measuring; don't clobber the
+        // last real numbers.
+        return;
+    }
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    let mut body = String::from("{\n  \"bench\": \"capacity_timeline\",\n");
+    body.push_str("  \"smoke\": false,\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"op\": \"{}\", \"residencies\": {}, \"naive_ns\": {:.1}, \
+             \"timeline_ns\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            r.op,
+            r.n,
+            r.naive_ns,
+            r.timeline_ns,
+            r.naive_ns / r.timeline_ns.max(1e-9),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(format!("{dir}/BENCH_capacity.json"), body) {
+        eprintln!("warning: could not write BENCH_capacity.json: {e}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let topo = topo();
+    let mut rows = Vec::new();
+
+    for &n in &[10usize, 100, 1000] {
+        let items = profiles(n, 0xC0FFEE ^ n as u64);
+        let cands = candidates(64, 0xBEEF ^ n as u64);
+        let naive = ledger_with(&topo, &items, LedgerMode::Reference);
+        let fast = ledger_with(&topo, &items, LedgerMode::Timeline);
+
+        // Cross-check once per size: both modes must agree on every
+        // candidate before we bother timing them.
+        for cand in &cands {
+            assert_eq!(
+                naive.fits(&topo, NodeId(1), cand, None),
+                fast.fits(&topo, NodeId(1), cand, None),
+                "ledger modes disagree at n = {n}"
+            );
+        }
+
+        let mut g = c.benchmark_group(&format!("fits/{n}"));
+        g.sample_size(10);
+        g.bench_function("naive", |b| {
+            b.iter(|| cands.iter().filter(|cand| naive.fits(&topo, NodeId(1), cand, None)).count())
+        });
+        let mut cursor = LedgerCursor::new();
+        g.bench_function("timeline", |b| {
+            b.iter(|| {
+                cands
+                    .iter()
+                    .filter(|cand| fast.fits_cursor(&topo, NodeId(1), cand, None, &mut cursor))
+                    .count()
+            })
+        });
+        g.finish();
+
+        // Headline numbers for the JSON artifact, measured directly.
+        let naive_ns = measure(
+            || {
+                let admitted =
+                    cands.iter().filter(|cand| naive.fits(&topo, NodeId(1), cand, None)).count();
+                std::hint::black_box(admitted);
+                cands.len()
+            },
+            smoke,
+        );
+        let mut cursor = LedgerCursor::new();
+        let timeline_ns = measure(
+            || {
+                let admitted = cands
+                    .iter()
+                    .filter(|cand| fast.fits_cursor(&topo, NodeId(1), cand, None, &mut cursor))
+                    .count();
+                std::hint::black_box(admitted);
+                cands.len()
+            },
+            smoke,
+        );
+        rows.push(Row { op: "fits", n, naive_ns, timeline_ns });
+
+        // peak_with with the exclude path exercised.
+        let naive_peak_ns = measure(
+            || {
+                cands
+                    .iter()
+                    .map(|cand| naive.peak_with(NodeId(1), cand, Some(VideoId(0))))
+                    .map(std::hint::black_box)
+                    .count()
+            },
+            smoke,
+        );
+        let mut cursor = LedgerCursor::new();
+        let timeline_peak_ns = measure(
+            || {
+                cands
+                    .iter()
+                    .map(|cand| {
+                        fast.peak_with_cursor(NodeId(1), cand, Some(VideoId(0)), &mut cursor)
+                    })
+                    .map(std::hint::black_box)
+                    .count()
+            },
+            smoke,
+        );
+        rows.push(Row {
+            op: "peak_with",
+            n,
+            naive_ns: naive_peak_ns,
+            timeline_ns: timeline_peak_ns,
+        });
+
+        // Add/remove churn: rebuild the node's occupancy and tear half of
+        // it back down. The naive ledger's add is a Vec push (cheap) but
+        // every subsequent query pays; this isolates the maintenance cost
+        // the timeline adds, showing it stays O(log n).
+        let mut churn = c.benchmark_group(&format!("churn/{n}"));
+        churn.sample_size(10);
+        for (label, mode) in [("naive", LedgerMode::Reference), ("timeline", LedgerMode::Timeline)]
+        {
+            churn.bench_function(label, |b| {
+                b.iter(|| {
+                    let mut l = StorageLedger::new(&topo);
+                    l.set_mode(mode);
+                    for (v, p) in &items {
+                        l.add(NodeId(1), *v, *p);
+                    }
+                    for (v, _) in items.iter().step_by(2) {
+                        l.remove(NodeId(1), *v);
+                    }
+                    l.profile_count(NodeId(1))
+                })
+            });
+        }
+        churn.finish();
+    }
+
+    emit_json(&rows, smoke);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

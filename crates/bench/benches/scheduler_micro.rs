@@ -74,6 +74,16 @@ fn bench(c: &mut Criterion) {
             BatchSize::LargeInput,
         )
     });
+    // End-to-end resolution on the naive reference ledger (bit-identical
+    // schedule, slower admission tests) — the timeline's e2e comparator.
+    let reference_cfg = SorpConfig { use_reference_ledger: true, ..SorpConfig::default() };
+    g.bench_function("priced_sequential_reference_ledger", |b| {
+        b.iter_batched(
+            || priced.clone(),
+            |p1| sorp_solve_priced(&ctx, p1, &reference_cfg, &[], ExecMode::Sequential),
+            BatchSize::LargeInput,
+        )
+    });
     g.finish();
 
     c.bench_function("baseline_network_only", |b| {

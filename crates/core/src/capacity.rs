@@ -10,22 +10,89 @@
 //! * whether a candidate profile fits under the capacity together with
 //!   everything else ([`StorageLedger::fits`]) — the admission test of the
 //!   rejective greedy (§4.4).
+//!
+//! Both queries run against an incremental [`OccupancyTimeline`] per
+//! storage: adding or removing a residency folds its ≤ 4 breakpoint
+//! deltas into an ordered aggregate in O(log n) each, and the admission
+//! test walks only the breakpoints inside the candidate's support with
+//! exact left-limits — O(log n + span) instead of the naive O(k²)
+//! rescan of every profile at the node. Two further fast paths:
+//!
+//! * a cached per-node **plateau sum** upper-bounds the aggregate
+//!   everywhere, so any candidate with `plateau_sum + peak ≤ capacity`
+//!   is admitted in O(1) without touching the timeline;
+//! * [`StorageLedger::fits`] abandons the walk as soon as the running
+//!   peak exceeds the capacity threshold.
+//!
+//! The pre-timeline flat scan survives as the *reference* implementation
+//! ([`LedgerMode::Reference`], selected with
+//! [`StorageLedger::set_mode`]): the equivalence property tests and the
+//! `capacity_timeline` bench run both implementations against each other.
 
 use crate::overflow::CAPACITY_EPS;
+use crate::timeline::OccupancyTimeline;
 use vod_cost_model::{Bytes, Catalog, Schedule, Secs, SpaceProfile, VideoId};
 use vod_topology::{NodeId, Topology};
+
+/// Which admission-test implementation a ledger runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LedgerMode {
+    /// The incremental occupancy timeline (the production path).
+    #[default]
+    Timeline,
+    /// The flat per-profile rescan the timeline replaced. Kept as the
+    /// oracle for equivalence tests and benchmarks; asymptotically O(k²)
+    /// per admission test.
+    Reference,
+}
+
+/// Reusable scratch buffers for the timeline admission test, so the hot
+/// `fits` path performs no per-call allocations. One cursor per worker:
+/// the rejective greedy allocates one per reschedule and threads it
+/// through every admission test of that video.
+#[derive(Clone, Debug, Default)]
+pub struct LedgerCursor {
+    /// Overlay deltas: the candidate's breakpoints plus the negated
+    /// breakpoints of the excluded video, sorted by time.
+    overlay: Vec<(Secs, Bytes, f64)>,
+    /// Timeline breakpoints inside the candidate's support.
+    support: Vec<(Secs, Bytes, f64)>,
+}
+
+impl LedgerCursor {
+    /// A cursor with empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Occupancy ledger over every intermediate storage.
 #[derive(Clone, Debug)]
 pub struct StorageLedger {
-    /// Per node: `(video, profile)` entries with positive plateau.
+    /// Per node: `(video, profile)` entries with positive plateau. The
+    /// flat list is the source of truth for removal bookkeeping, the
+    /// `exclude` overlays, and the reference oracle.
     entries: Vec<Vec<(VideoId, SpaceProfile)>>,
+    /// Per node: the aggregate occupancy as an incremental breakpoint
+    /// timeline (always maintained alongside `entries`).
+    timelines: Vec<OccupancyTimeline>,
+    /// Per node: Σ plateau over resident profiles — an upper bound on the
+    /// aggregate occupancy at every instant, backing the O(1) headroom
+    /// fast path.
+    plateau_sum: Vec<Bytes>,
+    mode: LedgerMode,
 }
 
 impl StorageLedger {
     /// An empty ledger for a topology.
     pub fn new(topo: &Topology) -> Self {
-        Self { entries: vec![Vec::new(); topo.node_count()] }
+        let n = topo.node_count();
+        Self {
+            entries: vec![Vec::new(); n],
+            timelines: vec![OccupancyTimeline::new(); n],
+            plateau_sum: vec![0.0; n],
+            mode: LedgerMode::default(),
+        }
     }
 
     /// Build the ledger of every residency in `schedule`. Degenerate
@@ -39,10 +106,28 @@ impl StorageLedger {
         ledger
     }
 
+    /// Switch the admission-test implementation (equivalence testing and
+    /// benchmarking only — [`LedgerMode::Timeline`] is the default and
+    /// strictly faster).
+    pub fn set_mode(&mut self, mode: LedgerMode) {
+        self.mode = mode;
+    }
+
+    /// The active admission-test implementation.
+    pub fn mode(&self) -> LedgerMode {
+        self.mode
+    }
+
     /// Record a profile at a storage (no-op for zero-space profiles).
+    /// O(log n) in the node's breakpoint count.
     pub fn add(&mut self, loc: NodeId, video: VideoId, profile: SpaceProfile) {
         if profile.peak() > 0.0 {
-            self.entries[loc.index()].push((video, profile));
+            let i = loc.index();
+            self.entries[i].push((video, profile));
+            for d in &profile.slope_deltas() {
+                self.timelines[i].add(d.t, d.jump, d.slope);
+            }
+            self.plateau_sum[i] += profile.peak();
         }
     }
 
@@ -52,8 +137,8 @@ impl StorageLedger {
     /// occupies (SORP's commit does — the outgoing schedule lists its
     /// residencies), prefer the incremental [`StorageLedger::remove`].
     pub fn remove_video(&mut self, video: VideoId) {
-        for node in &mut self.entries {
-            node.retain(|(v, _)| *v != video);
+        for loc in 0..self.entries.len() {
+            self.remove_at_index(loc, video);
         }
     }
 
@@ -61,7 +146,26 @@ impl StorageLedger {
     /// incremental counterpart of [`StorageLedger::remove_video`].
     /// Idempotent, and a no-op if the video has nothing recorded there.
     pub fn remove(&mut self, loc: NodeId, video: VideoId) {
-        self.entries[loc.index()].retain(|(v, _)| *v != video);
+        self.remove_at_index(loc.index(), video);
+    }
+
+    fn remove_at_index(&mut self, i: usize, video: VideoId) {
+        let (timeline, plateau_sum) = (&mut self.timelines[i], &mut self.plateau_sum[i]);
+        self.entries[i].retain(|(v, p)| {
+            if *v != video {
+                return true;
+            }
+            for d in &p.slope_deltas() {
+                timeline.remove(d.t, d.jump, d.slope);
+            }
+            *plateau_sum -= p.peak();
+            false
+        });
+        if self.entries[i].is_empty() {
+            // Clamp float drift: an empty node occupies exactly nothing.
+            *plateau_sum = 0.0;
+            debug_assert!(timeline.is_empty());
+        }
     }
 
     /// Whether any profile of `video` is recorded at any storage.
@@ -75,9 +179,39 @@ impl StorageLedger {
         self.entries[loc.index()].len()
     }
 
+    /// Σ plateau over the profiles resident at `loc` — an upper bound on
+    /// the aggregate occupancy at every instant, maintained in O(1) per
+    /// add/remove. `capacity − plateau_sum` is the node's guaranteed
+    /// headroom: any candidate whose peak fits under it is admissible
+    /// without a timeline walk.
+    pub fn plateau_sum(&self, loc: NodeId) -> Bytes {
+        self.plateau_sum[loc.index()]
+    }
+
     /// Aggregate occupancy at `loc` at time `t`, in bytes, optionally
     /// excluding one video's profiles. Right-continuous in `t`.
+    /// O(log n + excluded) on the timeline path.
     pub fn usage_at(&self, loc: NodeId, t: Secs, exclude: Option<VideoId>) -> Bytes {
+        match self.mode {
+            LedgerMode::Reference => self.usage_at_reference(loc, t, exclude),
+            LedgerMode::Timeline => {
+                let i = loc.index();
+                let mut u = self.timelines[i].prefix(t).value_at(t);
+                if let Some(v) = exclude {
+                    for (vid, p) in &self.entries[i] {
+                        if *vid == v {
+                            u -= p.space_at(t);
+                        }
+                    }
+                }
+                u
+            }
+        }
+    }
+
+    /// Reference implementation of [`StorageLedger::usage_at`]: a flat
+    /// sum over every profile at the node (the equivalence oracle).
+    pub fn usage_at_reference(&self, loc: NodeId, t: Secs, exclude: Option<VideoId>) -> Bytes {
         self.entries[loc.index()]
             .iter()
             .filter(|(v, _)| Some(*v) != exclude)
@@ -85,16 +219,37 @@ impl StorageLedger {
             .sum()
     }
 
-    /// Every breakpoint of the profiles at `loc` (unsorted, may repeat),
+    /// Every breakpoint of the profiles at `loc`, **sorted and deduped**,
     /// optionally excluding one video.
     pub fn breakpoints(&self, loc: NodeId, exclude: Option<VideoId>) -> Vec<Secs> {
-        let mut out = Vec::with_capacity(self.entries[loc.index()].len() * 3);
-        for (v, p) in &self.entries[loc.index()] {
-            if Some(*v) != exclude {
-                out.extend(p.breakpoints());
+        let i = loc.index();
+        match (self.mode, exclude) {
+            (LedgerMode::Timeline, None) => {
+                // The timeline's in-order walk is sorted and unique.
+                let mut out = Vec::with_capacity(self.timelines[i].breakpoint_count());
+                self.timelines[i].visit_all(|t, _, _| out.push(t));
+                out
+            }
+            _ => {
+                let mut out = Vec::with_capacity(self.entries[i].len() * 4);
+                for (v, p) in &self.entries[i] {
+                    if Some(*v) != exclude {
+                        out.extend(p.breakpoints());
+                    }
+                }
+                out.sort_by(|a, b| a.partial_cmp(b).expect("breakpoints are finite"));
+                out.dedup();
+                out
             }
         }
-        out
+    }
+
+    /// Walk every linear segment of the aggregate occupancy at `loc`
+    /// between consecutive breakpoints, yielding `(t0, t1, u0, u1)` with
+    /// the right-continuous value `u0` at `t0` and the **exact** left
+    /// limit `u1` at `t1`. Allocation-free; the overflow detector's scan.
+    pub fn for_each_segment<F: FnMut(Secs, Secs, Bytes, Bytes)>(&self, loc: NodeId, f: F) {
+        self.timelines[loc.index()].for_each_segment(f);
     }
 
     /// Peak of `usage + candidate` over the candidate's support.
@@ -104,10 +259,48 @@ impl StorageLedger {
         candidate: &SpaceProfile,
         exclude: Option<VideoId>,
     ) -> Bytes {
+        match self.mode {
+            LedgerMode::Reference => self.peak_with_reference(loc, candidate, exclude),
+            LedgerMode::Timeline => {
+                let mut cursor = LedgerCursor::new();
+                self.peak_walk(loc, candidate, exclude, &mut cursor, f64::INFINITY)
+            }
+        }
+    }
+
+    /// [`StorageLedger::peak_with`] on caller-provided scratch buffers
+    /// (no per-call allocation once the cursor has warmed up).
+    pub fn peak_with_cursor(
+        &self,
+        loc: NodeId,
+        candidate: &SpaceProfile,
+        exclude: Option<VideoId>,
+        cursor: &mut LedgerCursor,
+    ) -> Bytes {
+        match self.mode {
+            LedgerMode::Reference => self.peak_with_reference(loc, candidate, exclude),
+            LedgerMode::Timeline => self.peak_walk(loc, candidate, exclude, cursor, f64::INFINITY),
+        }
+    }
+
+    /// Reference implementation of [`StorageLedger::peak_with`]: collect
+    /// every breakpoint at the node, then rescan all profiles twice per
+    /// segment, recovering left limits from a midpoint probe. O(k²).
+    pub fn peak_with_reference(
+        &self,
+        loc: NodeId,
+        candidate: &SpaceProfile,
+        exclude: Option<VideoId>,
+    ) -> Bytes {
         if candidate.peak() == 0.0 {
             return 0.0;
         }
-        let mut points = self.breakpoints(loc, exclude);
+        let mut points = Vec::with_capacity(self.entries[loc.index()].len() * 4 + 6);
+        for (v, p) in &self.entries[loc.index()] {
+            if Some(*v) != exclude {
+                points.extend(p.breakpoints());
+            }
+        }
         points.extend(candidate.breakpoints());
         points.retain(|&t| (candidate.start..=candidate.end).contains(&t));
         points.push(candidate.start);
@@ -115,7 +308,7 @@ impl StorageLedger {
         points.sort_by(|a, b| a.partial_cmp(b).expect("breakpoints are finite"));
         points.dedup();
 
-        let combined = |t: Secs| self.usage_at(loc, t, exclude) + candidate.space_at(t);
+        let combined = |t: Secs| self.usage_at_reference(loc, t, exclude) + candidate.space_at(t);
         let mut peak: Bytes = 0.0;
         for w in points.windows(2) {
             let (t0, t1) = (w[0], w[1]);
@@ -135,6 +328,108 @@ impl StorageLedger {
         peak
     }
 
+    /// The timeline peak walk: evaluate `aggregate + candidate −
+    /// excluded` at the support's endpoints and at every breakpoint
+    /// inside it — right-continuous values and exact left limits — and
+    /// abandon early once the running peak exceeds `stop_above`.
+    ///
+    /// The candidate and the excluded video's profiles are merged in as a
+    /// small *overlay* delta list (the excluded deltas negated — they are
+    /// part of the aggregate and must be backed out), so the aggregate
+    /// timeline itself is never modified by a query.
+    fn peak_walk(
+        &self,
+        loc: NodeId,
+        candidate: &SpaceProfile,
+        exclude: Option<VideoId>,
+        cursor: &mut LedgerCursor,
+        stop_above: f64,
+    ) -> Bytes {
+        if candidate.peak() == 0.0 {
+            return 0.0;
+        }
+        let i = loc.index();
+        let (cs, ce) = (candidate.start, candidate.end);
+
+        let overlay = &mut cursor.overlay;
+        overlay.clear();
+        for d in &candidate.slope_deltas() {
+            overlay.push((d.t, d.jump, d.slope));
+        }
+        if let Some(v) = exclude {
+            for (vid, p) in &self.entries[i] {
+                if *vid == v {
+                    for d in &p.slope_deltas() {
+                        overlay.push((d.t, -d.jump, -d.slope));
+                    }
+                }
+            }
+        }
+        overlay.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("breakpoints are finite"));
+
+        // Running prefix of the combined function: aggregate up to the
+        // support start, plus every overlay delta at or before it.
+        let mut p = self.timelines[i].prefix(cs);
+        let mut oi = 0;
+        while oi < overlay.len() && overlay[oi].0 <= cs {
+            let (t, jump, dslope) = overlay[oi];
+            p.jump += jump;
+            p.slope += dslope;
+            p.slope_t += dslope * t;
+            oi += 1;
+        }
+        let mut peak: Bytes = p.value_at(cs).max(0.0);
+        if peak > stop_above {
+            return peak;
+        }
+
+        // Timeline breakpoints strictly inside the support (cs, ce].
+        let support = &mut cursor.support;
+        support.clear();
+        self.timelines[i].visit_range(cs, ce, |t, jump, dslope| support.push((t, jump, dslope)));
+
+        // Merge-walk the two sorted delta lists. At each distinct time:
+        // exact left limit first, then fold in every delta sharing that
+        // time, then the right-continuous value (skipped at the support
+        // end — the candidate no longer occupies space there).
+        let (mut si, n_s, n_o) = (0usize, support.len(), overlay.len());
+        while si < n_s || oi < n_o {
+            let t = match (support.get(si), overlay.get(oi)) {
+                (Some(s), Some(o)) => s.0.min(o.0),
+                (Some(s), None) => s.0,
+                (None, Some(o)) => o.0,
+                (None, None) => unreachable!("loop condition"),
+            };
+            if t > ce {
+                break; // overlay deltas past the support are irrelevant
+            }
+            peak = peak.max(p.value_at(t));
+            while si < n_s && support[si].0 == t {
+                let (bt, jump, dslope) = support[si];
+                p.jump += jump;
+                p.slope += dslope;
+                p.slope_t += dslope * bt;
+                si += 1;
+            }
+            while oi < n_o && overlay[oi].0 == t {
+                let (bt, jump, dslope) = overlay[oi];
+                p.jump += jump;
+                p.slope += dslope;
+                p.slope_t += dslope * bt;
+                oi += 1;
+            }
+            if t < ce {
+                peak = peak.max(p.value_at(t));
+            }
+            if peak > stop_above {
+                return peak;
+            }
+        }
+        // Left limit at the support end (= value: the aggregate only
+        // jumps upward, and the candidate holds nothing at its end).
+        peak.max(p.value_at(ce))
+    }
+
     /// Admission test: would adding `candidate` at `loc` keep aggregate
     /// occupancy within the storage's capacity at all times? Zero-space
     /// candidates always fit.
@@ -145,11 +440,38 @@ impl StorageLedger {
         candidate: &SpaceProfile,
         exclude: Option<VideoId>,
     ) -> bool {
+        let mut cursor = LedgerCursor::new();
+        self.fits_cursor(topo, loc, candidate, exclude, &mut cursor)
+    }
+
+    /// [`StorageLedger::fits`] on caller-provided scratch buffers — the
+    /// allocation-free hot path of the rejective greedy.
+    pub fn fits_cursor(
+        &self,
+        topo: &Topology,
+        loc: NodeId,
+        candidate: &SpaceProfile,
+        exclude: Option<VideoId>,
+        cursor: &mut LedgerCursor,
+    ) -> bool {
         let capacity = topo.capacity(loc);
         if !capacity.is_finite() {
             return true;
         }
-        self.peak_with(loc, candidate, exclude) <= capacity * (1.0 + CAPACITY_EPS) + CAPACITY_EPS
+        let threshold = capacity * (1.0 + CAPACITY_EPS) + CAPACITY_EPS;
+        match self.mode {
+            LedgerMode::Reference => self.peak_with_reference(loc, candidate, exclude) <= threshold,
+            LedgerMode::Timeline => {
+                // O(1) fast path: the plateau sum bounds the aggregate
+                // from above at every instant (profiles are non-negative,
+                // and any excluded profiles only tighten the bound), so a
+                // candidate fitting under it fits, full stop.
+                if self.plateau_sum[loc.index()] + candidate.peak() <= capacity {
+                    return true;
+                }
+                self.peak_walk(loc, candidate, exclude, cursor, threshold) <= threshold
+            }
+        }
     }
 }
 
@@ -174,6 +496,7 @@ mod tests {
         assert_eq!(l.usage_at(NodeId(1), 0.0, None), 0.0);
         assert!(l.breakpoints(NodeId(1), None).is_empty());
         assert_eq!(l.profile_count(NodeId(1)), 0);
+        assert_eq!(l.plateau_sum(NodeId(1)), 0.0);
     }
 
     use vod_topology::Topology;
@@ -190,6 +513,8 @@ mod tests {
         assert_eq!(l.usage_at(NodeId(1), 2000.0, Some(VideoId(1))), units::gb(2.0));
         // Other locations unaffected.
         assert_eq!(l.usage_at(NodeId(2), 2000.0, None), 0.0);
+        // The plateau-sum bound is maintained.
+        assert_eq!(l.plateau_sum(NodeId(1)), units::gb(4.0));
     }
 
     #[test]
@@ -210,6 +535,9 @@ mod tests {
         l.remove_video(VideoId(0));
         assert_eq!(l.profile_count(NodeId(1)), 1);
         assert_eq!(l.profile_count(NodeId(2)), 0);
+        // The cleared node's occupancy reads exactly zero again.
+        assert_eq!(l.usage_at(NodeId(2), 1000.0, None), 0.0);
+        assert_eq!(l.plateau_sum(NodeId(2)), 0.0);
     }
 
     #[test]
@@ -273,6 +601,47 @@ mod tests {
         l.add(NodeId(1), VideoId(0), profile(0.0, 5000.0));
         // Exactly 2 + 2 = 4 GB.
         assert!(l.fits(&t, NodeId(1), &profile(0.0, 5000.0), None));
+    }
+
+    #[test]
+    fn breakpoints_are_sorted_and_deduped() {
+        let t = topo(5.0);
+        let mut l = StorageLedger::new(&t);
+        l.add(NodeId(1), VideoId(0), profile(0.0, 5000.0));
+        l.add(NodeId(1), VideoId(1), profile(0.0, 4000.0)); // shares t = 0
+        l.add(NodeId(1), VideoId(2), profile(200.0, 5000.0)); // shares t = 5000
+        let bps = l.breakpoints(NodeId(1), None);
+        assert!(bps.windows(2).all(|w| w[0] < w[1]), "sorted, unique: {bps:?}");
+        // {0, 200, 4000, 5000, 6000} — 0 and 5000 shared.
+        assert_eq!(bps.len(), 5, "{bps:?}");
+        // The exclude path filters the excluded video's private times
+        // while keeping shared ones.
+        let without_v1 = l.breakpoints(NodeId(1), Some(VideoId(1)));
+        assert!(without_v1.windows(2).all(|w| w[0] < w[1]));
+        assert!(!without_v1.contains(&4000.0));
+        assert!(without_v1.contains(&0.0), "t = 0 still backed by video 0");
+    }
+
+    #[test]
+    fn reference_and_timeline_modes_agree_here() {
+        let t = topo(4.0);
+        let mut l = StorageLedger::new(&t);
+        l.add(NodeId(1), VideoId(0), profile(0.0, 5000.0));
+        l.add(NodeId(1), VideoId(1), profile(3000.0, 8000.0));
+        let mut reference = l.clone();
+        reference.set_mode(LedgerMode::Reference);
+        for cand in [profile(1000.0, 4000.0), profile(5500.0, 9000.0), profile(8000.0, 8200.0)] {
+            for exclude in [None, Some(VideoId(0)), Some(VideoId(7))] {
+                assert_eq!(
+                    l.fits(&t, NodeId(1), &cand, exclude),
+                    reference.fits(&t, NodeId(1), &cand, exclude),
+                    "cand {cand:?} exclude {exclude:?}"
+                );
+                let a = l.peak_with(NodeId(1), &cand, exclude);
+                let b = reference.peak_with(NodeId(1), &cand, exclude);
+                assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()), "{a} vs {b}");
+            }
+        }
     }
 
     #[test]

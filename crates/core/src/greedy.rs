@@ -25,7 +25,7 @@
 //! Serving directly from the warehouse is always admissible, so the
 //! rejective greedy always produces a feasible schedule.
 
-use crate::{Interval, SchedCtx, StorageLedger};
+use crate::{Interval, LedgerCursor, SchedCtx, StorageLedger};
 use std::collections::BTreeMap;
 use vod_cost_model::{
     Dollars, Request, RequestBatch, Residency, Schedule, Secs, SpaceProfile, Transfer, Video,
@@ -86,8 +86,16 @@ pub struct Constraints<'a> {
 impl Constraints<'_> {
     /// Whether `profile` may be placed at `loc`: it must not overlap any
     /// forbidden window at `loc` with positive space, and it must fit
-    /// under the storage's capacity together with everything else.
-    fn admits(&self, ctx: &SchedCtx<'_>, loc: NodeId, profile: &SpaceProfile) -> bool {
+    /// under the storage's capacity together with everything else. The
+    /// cursor carries reusable scratch buffers across admission tests so
+    /// the hot path allocates nothing.
+    fn admits(
+        &self,
+        ctx: &SchedCtx<'_>,
+        loc: NodeId,
+        profile: &SpaceProfile,
+        cursor: &mut LedgerCursor,
+    ) -> bool {
         if profile.peak() > 0.0 {
             let support = Interval::new(profile.start, profile.end);
             for (floc, window) in self.forbidden {
@@ -96,7 +104,7 @@ impl Constraints<'_> {
                 }
             }
         }
-        self.ledger.fits(ctx.topo, loc, profile, self.exclude)
+        self.ledger.fits_cursor(ctx.topo, loc, profile, self.exclude, cursor)
     }
 }
 
@@ -206,6 +214,8 @@ fn greedy(
     // Active caches, keyed by hosting storage for deterministic iteration.
     let mut caches: BTreeMap<NodeId, Residency> = BTreeMap::new();
     let mut schedule = VideoSchedule::new(vid);
+    // One set of admission-test scratch buffers for the whole reschedule.
+    let mut cursor = LedgerCursor::new();
 
     for req in requests {
         let local = ctx.topo.home_of(req.user);
@@ -221,7 +231,7 @@ fn greedy(
             // at req.start.
             let ext = match caches.get(&src) {
                 Some(r) => {
-                    match extension(ctx, video, r, req.start, constraints) {
+                    match extension(ctx, video, r, req.start, constraints, &mut cursor) {
                         Some(cost) => cost,
                         None => continue, // extension inadmissible: skip source
                     }
@@ -310,13 +320,14 @@ fn extension(
     r: &Residency,
     t: Secs,
     constraints: Option<&Constraints<'_>>,
+    cursor: &mut LedgerCursor,
 ) -> Option<Dollars> {
     debug_assert!(t >= r.last_service, "requests are processed chronologically");
     let model = ctx.model.space_model();
     let old = r.profile_with(video, model);
     let new = SpaceProfile::with_model(r.start, t, video.size, video.playback, model);
     if let Some(cons) = constraints {
-        if !cons.admits(ctx, r.loc, &new) {
+        if !cons.admits(ctx, r.loc, &new, cursor) {
             return None;
         }
     }

@@ -61,11 +61,12 @@ pub mod heat;
 mod overflow;
 mod pricing;
 mod sorp;
+mod timeline;
 
 pub use bandwidth_aware::{
     bandwidth_aware_solve, constrained_cheapest_path, BandwidthAwareOutcome, LinkLedger,
 };
-pub use capacity::StorageLedger;
+pub use capacity::{LedgerCursor, LedgerMode, StorageLedger};
 pub use ctx::SchedCtx;
 pub use exact::{find_optimal_video_schedule, ExactOutcome};
 pub use greedy::{
@@ -79,4 +80,5 @@ pub use sorp::{
     sorp_solve, sorp_solve_priced, sorp_solve_seeded, SorpConfig, SorpOutcome, VictimRecord,
     EXTERNAL_OCCUPANCY,
 };
+pub use timeline::{OccupancyTimeline, Prefix};
 pub use vod_parallel::{map_with_mode, parallel_map, ExecMode};

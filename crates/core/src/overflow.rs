@@ -6,9 +6,14 @@
 //! interval during which the summed space requirement exceeds the
 //! capacity. Because every residency's occupancy is piecewise linear
 //! (Eq. 6), the aggregate occupancy is piecewise linear too and the exact
-//! overflow boundaries are found by scanning profile breakpoints and
-//! interpolating the crossings.
+//! overflow boundaries are found by scanning the ledger's occupancy
+//! timeline segment by segment and interpolating the crossings. The
+//! timeline yields each segment's exact endpoint values (right-continuous
+//! start, exact left limit at the end) directly from its slope aggregates,
+//! so no midpoint probing is needed and near-vertical segments suffer no
+//! float cancellation.
 
+use crate::capacity::LedgerMode;
 use crate::StorageLedger;
 use vod_cost_model::{Bytes, Residency, Schedule, Secs};
 use vod_topology::{NodeId, Topology};
@@ -79,41 +84,77 @@ pub fn detect_overflows(topo: &Topology, ledger: &StorageLedger) -> Vec<Overflow
 
 /// Overflow intervals at one storage given its capacity.
 fn overflows_at(ledger: &StorageLedger, loc: NodeId, capacity: Bytes) -> Vec<Overflow> {
-    let mut points = ledger.breakpoints(loc, None);
-    points.sort_by(|a, b| a.partial_cmp(b).expect("breakpoints are finite"));
-    points.dedup();
-    if points.len() < 2 {
-        return Vec::new();
+    let mut scan = OverflowScan::new(loc, capacity);
+    match ledger.mode() {
+        LedgerMode::Timeline => {
+            // Single in-order timeline walk: each linear segment arrives
+            // with its exact endpoint values straight from the slope
+            // aggregates.
+            ledger.for_each_segment(loc, |t0, t1, u0, u1| scan.segment(t0, t1, u0, u1));
+        }
+        LedgerMode::Reference => {
+            // Already sorted and deduped by the ledger.
+            let points = ledger.breakpoints(loc, None);
+            for w in points.windows(2) {
+                let (t0, t1) = (w[0], w[1]);
+                // Aggregate usage is linear on [t0, t1) but may jump
+                // *upward* at breakpoints (space is reserved
+                // instantaneously at a residency's t_s, §2.2.1).
+                // usage_at is right-continuous, so the segment's start
+                // value is usage_at(t0) and its end value is the left
+                // limit at t1, recovered from the midpoint by linearity.
+                let u0 = ledger.usage_at(loc, t0, None);
+                let umid = ledger.usage_at(loc, 0.5 * (t0 + t1), None);
+                let u1 = 2.0 * umid - u0;
+                scan.segment(t0, t1, u0, u1);
+            }
+        }
+    }
+    scan.finish()
+}
+
+/// Streaming scan over the linear segments of one storage's aggregate
+/// occupancy, accumulating maximal over-capacity windows. Segments must
+/// arrive in time order; `u0` is the right-continuous value at `t0` and
+/// `u1` the exact left limit at `t1`.
+struct OverflowScan {
+    loc: NodeId,
+    capacity: Bytes,
+    threshold: Bytes,
+    out: Vec<Overflow>,
+    /// `(window start, running peak excess)` of the open window, if any.
+    open: Option<(Secs, Bytes)>,
+    last_t: Secs,
+}
+
+impl OverflowScan {
+    fn new(loc: NodeId, capacity: Bytes) -> Self {
+        Self {
+            loc,
+            capacity,
+            threshold: capacity * (1.0 + CAPACITY_EPS) + CAPACITY_EPS,
+            out: Vec::new(),
+            open: None,
+            last_t: f64::NEG_INFINITY,
+        }
     }
 
-    let threshold = capacity * (1.0 + CAPACITY_EPS) + CAPACITY_EPS;
-
-    let mut out: Vec<Overflow> = Vec::new();
-    let mut open: Option<(Secs, Bytes)> = None; // (window start, running peak excess)
-
-    for w in 0..points.len() - 1 {
-        let (t0, t1) = (points[w], points[w + 1]);
+    fn segment(&mut self, t0: Secs, t1: Secs, u0: Bytes, u1: Bytes) {
         if t1 <= t0 {
-            continue;
+            return;
         }
-        // Aggregate usage is linear on [t0, t1) but may jump *upward* at
-        // breakpoints (space is reserved instantaneously at a residency's
-        // t_s, §2.2.1). usage_at is right-continuous, so the segment's
-        // start value is usage_at(t0) and its end value is the left limit
-        // at t1, recovered from the midpoint by linearity.
-        let u0 = ledger.usage_at(loc, t0, None);
-        let umid = ledger.usage_at(loc, 0.5 * (t0 + t1), None);
-        let u1 = 2.0 * umid - u0;
-        // Find the over-capacity sub-segment.
-        let over0 = u0 > threshold;
-        let over1 = u1 > threshold;
+        self.last_t = t1;
+        let loc = self.loc;
+        let over0 = u0 > self.threshold;
+        let over1 = u1 > self.threshold;
         if !over0 && !over1 {
-            if let Some((s, peak)) = open.take() {
-                out.push(Overflow { loc, window: Interval::new(s, t0), peak_excess: peak });
+            if let Some((s, peak)) = self.open.take() {
+                self.out.push(Overflow { loc, window: Interval::new(s, t0), peak_excess: peak });
             }
-            continue;
+            return;
         }
         // Crossing point of the linear segment with the capacity line.
+        let capacity = self.capacity;
         let cross = |target: Bytes| -> Secs { t0 + (target - u0) / (u1 - u0) * (t1 - t0) };
         let (seg_start, seg_end) = match (over0, over1) {
             (true, true) => (t0, t1),
@@ -122,21 +163,28 @@ fn overflows_at(ledger: &StorageLedger, loc: NodeId, capacity: Bytes) -> Vec<Ove
             (false, false) => unreachable!(),
         };
         let seg_peak = (u0.max(u1) - capacity).max(0.0);
-        match &mut open {
+        match &mut self.open {
             Some((_, peak)) => *peak = peak.max(seg_peak),
-            None => open = Some((seg_start, seg_peak)),
+            None => self.open = Some((seg_start, seg_peak)),
         }
         // Close if the segment ends under capacity before t1.
         if !over1 {
-            let (s, peak) = open.take().expect("window was open");
-            out.push(Overflow { loc, window: Interval::new(s, seg_end), peak_excess: peak });
+            let (s, peak) = self.open.take().expect("window was open");
+            self.out.push(Overflow { loc, window: Interval::new(s, seg_end), peak_excess: peak });
         }
     }
-    if let Some((s, peak)) = open.take() {
-        let end = *points.last().expect("at least two points");
-        out.push(Overflow { loc, window: Interval::new(s, end), peak_excess: peak });
+
+    fn finish(mut self) -> Vec<Overflow> {
+        if let Some((s, peak)) = self.open.take() {
+            let loc = self.loc;
+            self.out.push(Overflow {
+                loc,
+                window: Interval::new(s, self.last_t),
+                peak_excess: peak,
+            });
+        }
+        self.out
     }
-    out
 }
 
 /// `Overflow_Set(ISj, Δt)`: the residencies of `schedule` hosted at the

@@ -22,7 +22,7 @@
 
 use crate::{
     detect_overflows, heat_of, overflow_set, reschedule_video, Constraints, HeatMetric, Interval,
-    PricedSchedule, SchedCtx, StorageLedger,
+    LedgerMode, PricedSchedule, SchedCtx, StorageLedger,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -64,11 +64,20 @@ pub struct SorpConfig {
     /// Safety cap on resolution iterations before the direct-delivery
     /// fallback engages. The loop normally terminates far earlier.
     pub max_iterations: usize,
+    /// Run every admission test on the naive reference ledger instead of
+    /// the occupancy timeline ([`LedgerMode::Reference`]). Only for
+    /// equivalence testing and benchmarking — the timeline is the
+    /// production path and the outputs are identical.
+    pub use_reference_ledger: bool,
 }
 
 impl Default for SorpConfig {
     fn default() -> Self {
-        Self { metric: HeatMetric::TimeSpacePerCost, max_iterations: 10_000 }
+        Self {
+            metric: HeatMetric::TimeSpacePerCost,
+            max_iterations: 10_000,
+            use_reference_ledger: false,
+        }
     }
 }
 
@@ -200,6 +209,9 @@ pub fn sorp_solve_priced(
 ) -> SorpOutcome {
     let initial_cost = priced.total();
     let mut ledger = StorageLedger::from_schedule(ctx.topo, ctx.catalog, priced.schedule());
+    if cfg.use_reference_ledger {
+        ledger.set_mode(LedgerMode::Reference);
+    }
     for (loc, profile) in external {
         ledger.add(*loc, EXTERNAL_OCCUPANCY, *profile);
     }
@@ -488,6 +500,37 @@ mod tests {
         assert_eq!(seq.cost.to_bits(), par.cost.to_bits());
         assert_eq!(seq.iterations, par.iterations);
         assert_eq!(seq.victims.len(), par.victims.len());
+    }
+
+    #[test]
+    fn timeline_and_reference_ledgers_give_bit_identical_schedules() {
+        use crate::{ivsp_solve_priced, ExecMode};
+        for seed in [1, 7, 11] {
+            let cfgb = builders::PaperFig4Config { capacity_gb: 5.0, ..Default::default() };
+            let topo = builders::paper_fig4(&cfgb);
+            let wl =
+                Workload::generate(&topo, &CatalogConfig::small(80), &RequestConfig::paper(), seed);
+            let model = CostModel::per_hop();
+            let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
+            let priced = ivsp_solve_priced(&ctx, &wl.requests);
+            let fast = sorp_solve_priced(
+                &ctx,
+                priced.clone(),
+                &SorpConfig::default(),
+                &[],
+                ExecMode::Sequential,
+            );
+            let oracle_cfg = SorpConfig { use_reference_ledger: true, ..SorpConfig::default() };
+            let oracle = sorp_solve_priced(&ctx, priced, &oracle_cfg, &[], ExecMode::Sequential);
+            assert!(fast.resolved_anything(), "seed {seed}: nothing to resolve");
+            assert!(
+                fast.schedule == oracle.schedule,
+                "seed {seed}: schedules diverged between ledger modes"
+            );
+            assert_eq!(fast.cost.to_bits(), oracle.cost.to_bits(), "seed {seed}");
+            assert_eq!(fast.iterations, oracle.iterations, "seed {seed}");
+            assert_eq!(fast.victims.len(), oracle.victims.len(), "seed {seed}");
+        }
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Property tests: the incremental occupancy timeline must agree with the
+//! naive reference ledger — same `usage_at`, `peak_with`, `fits`, sorted
+//! breakpoints, and overflow detection — on random workloads, including
+//! add/remove interleavings and the `exclude` path.
+
+use proptest::prelude::*;
+use vod_core::{detect_overflows, LedgerMode, StorageLedger};
+use vod_cost_model::{Secs, SpaceModel, SpaceProfile, VideoId};
+use vod_topology::{builders, units, NodeId, Topology};
+
+/// One residency profile drawn from the strategy, plus where it lives.
+#[derive(Clone, Debug)]
+struct Item {
+    video: u32,
+    loc: u32,
+    start: Secs,
+    hold: Secs,
+    size_gb: f64,
+    playback: Secs,
+    gradual: bool,
+}
+
+impl Item {
+    fn profile(&self) -> SpaceProfile {
+        let model =
+            if self.gradual { SpaceModel::GradualFill } else { SpaceModel::InstantReservation };
+        SpaceProfile::with_model(
+            self.start,
+            self.start + self.hold,
+            units::gb(self.size_gb),
+            self.playback,
+            model,
+        )
+    }
+}
+
+/// A random workload over the two storages of the Fig. 2 topology:
+/// residencies to add, a subset of videos to remove again (interleaved
+/// mid-stream), and query/candidate parameters.
+#[derive(Clone, Debug)]
+struct Workload {
+    items: Vec<Item>,
+    /// After adding item `i`, remove video `remove_after[j].1` whenever
+    /// `remove_after[j].0 == i` — an arbitrary add/remove interleaving.
+    remove_after: Vec<(usize, u32)>,
+    capacity_gb: f64,
+    candidate: Item,
+    exclude: Option<u32>,
+    query_times: Vec<Secs>,
+}
+
+fn item_strategy() -> impl Strategy<Value = Item> {
+    (
+        0u32..12,
+        1u32..3, // NodeId(1) or NodeId(2): the two intermediate storages
+        0.0f64..50_000.0,
+        0.0f64..20_000.0,
+        0.0f64..4.0,
+        prop_oneof![Just(900.0), Just(1800.0), Just(5400.0)],
+        any::<bool>(),
+    )
+        .prop_map(|(video, loc, start, hold, size_gb, playback, gradual)| Item {
+            video,
+            loc,
+            start,
+            hold,
+            size_gb,
+            playback,
+            gradual,
+        })
+}
+
+fn workload_strategy() -> impl Strategy<Value = Workload> {
+    (
+        proptest::collection::vec(item_strategy(), 1..24),
+        proptest::collection::vec((0usize..24, 0u32..12), 0..6),
+        prop_oneof![Just(2.0), Just(4.0), Just(6.0), Just(1000.0)],
+        item_strategy(),
+        (any::<bool>(), 0u32..12).prop_map(|(some, v)| some.then_some(v)),
+        proptest::collection::vec(0.0f64..80_000.0, 1..8),
+    )
+        .prop_map(|(items, remove_after, capacity_gb, candidate, exclude, query_times)| {
+            Workload { items, remove_after, capacity_gb, candidate, exclude, query_times }
+        })
+}
+
+/// Build timeline- and reference-mode ledgers by replaying the same
+/// add/remove interleaving into both.
+fn build_ledgers(topo: &Topology, w: &Workload) -> (StorageLedger, StorageLedger) {
+    let mut fast = StorageLedger::new(topo);
+    let mut oracle = StorageLedger::new(topo);
+    oracle.set_mode(LedgerMode::Reference);
+    for (i, item) in w.items.iter().enumerate() {
+        let p = item.profile();
+        fast.add(NodeId(item.loc), VideoId(item.video), p);
+        oracle.add(NodeId(item.loc), VideoId(item.video), p);
+        for (after, vid) in &w.remove_after {
+            if *after == i {
+                fast.remove_video(VideoId(*vid));
+                oracle.remove_video(VideoId(*vid));
+            }
+        }
+    }
+    (fast, oracle)
+}
+
+/// Agreement within 1e-9 *relative to the magnitude of the ingredients*:
+/// timeline evaluation is a sum/difference of terms of size `scale`
+/// (bytes resident at the node), so near-zero results carry absolute
+/// cancellation residue on the order of `scale · ulp`, far below
+/// `1e-9 · scale`.
+fn rel_close(a: f64, b: f64, scale: f64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()).max(scale))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// `usage_at` agrees between the timeline and the naive sum at random
+    /// times, at every breakpoint, and under exclusion.
+    #[test]
+    fn usage_at_matches_reference(w in workload_strategy()) {
+        let topo = builders::paper_fig2(16.0, 8.0, 1.0, w.capacity_gb);
+        let (fast, oracle) = build_ledgers(&topo, &w);
+        let exclude = w.exclude.map(VideoId);
+        for loc in [NodeId(1), NodeId(2)] {
+            let scale = fast.plateau_sum(loc);
+            let mut times = w.query_times.clone();
+            times.extend(fast.breakpoints(loc, None));
+            for &t in &times {
+                let a = fast.usage_at(loc, t, exclude);
+                let b = oracle.usage_at(loc, t, exclude);
+                prop_assert!(rel_close(a, b, scale), "usage_at({loc:?}, {t}) {a} vs {b}");
+            }
+        }
+    }
+
+    /// `peak_with` and `fits` agree between the timeline walk and the
+    /// naive midpoint rescan for random candidates, with and without
+    /// exclusion.
+    #[test]
+    fn peak_and_fits_match_reference(w in workload_strategy()) {
+        let topo = builders::paper_fig2(16.0, 8.0, 1.0, w.capacity_gb);
+        let (fast, oracle) = build_ledgers(&topo, &w);
+        let cand = w.candidate.profile();
+        let exclude = w.exclude.map(VideoId);
+        for loc in [NodeId(1), NodeId(2)] {
+            let scale = fast.plateau_sum(loc) + cand.peak();
+            let a = fast.peak_with(loc, &cand, exclude);
+            let b = oracle.peak_with(loc, &cand, exclude);
+            prop_assert!(rel_close(a, b, scale), "peak_with({loc:?}) {a} vs {b}");
+            prop_assert_eq!(
+                fast.fits(&topo, loc, &cand, exclude),
+                oracle.fits(&topo, loc, &cand, exclude),
+                "fits({:?}) diverged at peak {}", loc, a
+            );
+        }
+    }
+
+    /// The timeline's breakpoint list is sorted, deduped, and set-equal
+    /// to the reference's (which sorts/dedups per call).
+    #[test]
+    fn breakpoints_sorted_deduped_and_equal(w in workload_strategy()) {
+        let topo = builders::paper_fig2(16.0, 8.0, 1.0, w.capacity_gb);
+        let (fast, oracle) = build_ledgers(&topo, &w);
+        for loc in [NodeId(1), NodeId(2)] {
+            for exclude in [None, w.exclude.map(VideoId)] {
+                let a = fast.breakpoints(loc, exclude);
+                let b = oracle.breakpoints(loc, exclude);
+                prop_assert!(a.windows(2).all(|p| p[0] < p[1]), "unsorted/duped: {a:?}");
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+
+    /// Overflow detection — windows and peak excess — agrees between the
+    /// timeline segment walk and the naive midpoint scan.
+    #[test]
+    fn detect_overflows_matches_reference(w in workload_strategy()) {
+        let topo = builders::paper_fig2(16.0, 8.0, 1.0, w.capacity_gb);
+        let (fast, oracle) = build_ledgers(&topo, &w);
+        let a = detect_overflows(&topo, &fast);
+        let b = detect_overflows(&topo, &oracle);
+        prop_assert_eq!(a.len(), b.len(), "{a:?} vs {b:?}");
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.loc, y.loc);
+            let scale = fast.plateau_sum(x.loc);
+            // Crossing *times* amplify byte-level residue by the inverse
+            // segment slope, so compare them at a correspondingly looser
+            // (but still tight in absolute seconds) tolerance.
+            let tclose = |p: Secs, q: Secs| (p - q).abs() <= 1e-6 * (1.0 + p.abs().max(q.abs()));
+            prop_assert!(tclose(x.window.start, y.window.start), "{x:?} vs {y:?}");
+            prop_assert!(tclose(x.window.end, y.window.end), "{x:?} vs {y:?}");
+            prop_assert!(rel_close(x.peak_excess, y.peak_excess, scale), "{x:?} vs {y:?}");
+        }
+    }
+
+    /// Removing everything returns the ledger to an exactly-empty state:
+    /// no float residue in the timeline aggregates.
+    #[test]
+    fn full_removal_leaves_exact_zero(w in workload_strategy()) {
+        let topo = builders::paper_fig2(16.0, 8.0, 1.0, w.capacity_gb);
+        let (mut fast, _) = build_ledgers(&topo, &w);
+        for v in 0..12 {
+            fast.remove_video(VideoId(v));
+        }
+        for loc in [NodeId(1), NodeId(2)] {
+            prop_assert_eq!(fast.profile_count(loc), 0);
+            prop_assert_eq!(fast.plateau_sum(loc), 0.0);
+            prop_assert!(fast.breakpoints(loc, None).is_empty());
+            for &t in &w.query_times {
+                prop_assert_eq!(fast.usage_at(loc, t, None), 0.0);
+            }
+        }
+    }
+}

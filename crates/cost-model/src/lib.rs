@@ -62,7 +62,7 @@ mod video;
 pub use cost::{ChargingBasis, CostModel};
 pub use request::{Request, RequestBatch};
 pub use schedule::{Residency, Schedule, Transfer, VideoSchedule};
-pub use space::{SpaceModel, SpaceProfile};
+pub use space::{BreakDelta, BreakDeltas, SpaceModel, SpaceProfile};
 pub use video::{Catalog, Video, VideoId};
 
 /// Seconds (absolute times and durations). All schedule times share one

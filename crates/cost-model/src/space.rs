@@ -193,6 +193,86 @@ impl SpaceProfile {
     pub fn breakpoints(&self) -> [Secs; 4] {
         [self.start, self.full, self.last, self.end]
     }
+
+    /// The profile decomposed into (Δvalue, Δslope) deltas at its
+    /// breakpoints: summing `jump + slope · (t − delta.t)` over every
+    /// delta with `delta.t ≤ t` reproduces [`SpaceProfile::space_at`].
+    ///
+    /// This is the exact-slope representation the occupancy timeline
+    /// aggregates: a degenerate rise (`full == start`, the paper's
+    /// instant-reservation model) becomes a right-continuous value jump
+    /// of the full plateau, a real rise becomes a ±slope pair, and the
+    /// drain always contributes a ±slope pair at `last`/`end`. Degenerate
+    /// (zero-plateau) profiles decompose into nothing. At most 4 deltas;
+    /// times are non-decreasing but may repeat (e.g. `full == last`).
+    pub fn slope_deltas(&self) -> BreakDeltas {
+        let mut out = BreakDeltas::default();
+        if self.plateau == 0.0 {
+            return out;
+        }
+        if self.full > self.start {
+            let m_rise = self.plateau / (self.full - self.start);
+            out.push(BreakDelta { t: self.start, jump: 0.0, slope: m_rise });
+            out.push(BreakDelta { t: self.full, jump: 0.0, slope: -m_rise });
+        } else {
+            out.push(BreakDelta { t: self.start, jump: self.plateau, slope: 0.0 });
+        }
+        let m_drain = self.plateau / (self.end - self.last);
+        out.push(BreakDelta { t: self.last, jump: 0.0, slope: -m_drain });
+        out.push(BreakDelta { t: self.end, jump: 0.0, slope: m_drain });
+        out
+    }
+}
+
+/// One breakpoint of a piecewise-linear occupancy function expressed as a
+/// delta: at time `t` the function's value jumps by `jump` (it is
+/// right-continuous, so the jump is included at `t` itself) and its slope
+/// changes by `slope` bytes per second.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BreakDelta {
+    /// Breakpoint time.
+    pub t: Secs,
+    /// Right-continuous value jump at `t`, in bytes.
+    pub jump: Bytes,
+    /// Slope change at `t`, in bytes per second.
+    pub slope: f64,
+}
+
+/// Up to four [`BreakDelta`]s of one profile, in non-decreasing time
+/// order, without heap allocation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BreakDeltas {
+    items: [BreakDelta; 4],
+    len: usize,
+}
+
+impl BreakDeltas {
+    fn push(&mut self, d: BreakDelta) {
+        self.items[self.len] = d;
+        self.len += 1;
+    }
+
+    /// The deltas as a slice.
+    pub fn as_slice(&self) -> &[BreakDelta] {
+        &self.items[..self.len]
+    }
+}
+
+impl std::ops::Deref for BreakDeltas {
+    type Target = [BreakDelta];
+
+    fn deref(&self) -> &[BreakDelta] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a BreakDeltas {
+    type Item = &'a BreakDelta;
+    type IntoIter = std::slice::Iter<'a, BreakDelta>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
 }
 
 #[cfg(test)]
@@ -360,5 +440,62 @@ mod tests {
     #[should_panic(expected = "interval reversed")]
     fn reversed_interval_panics() {
         SpaceProfile::new(10.0, 5.0, SZ, P);
+    }
+
+    /// Evaluate a delta decomposition at `t` the slow way.
+    fn eval_deltas(deltas: &BreakDeltas, t: Secs) -> f64 {
+        deltas.iter().filter(|d| d.t <= t).map(|d| d.jump + d.slope * (t - d.t)).sum()
+    }
+
+    #[test]
+    fn slope_deltas_reproduce_space_at_instant() {
+        let p = SpaceProfile::new(0.0, 250.0, SZ, P);
+        let d = p.slope_deltas();
+        assert_eq!(d.len(), 3, "instant reservation: jump + drain pair");
+        assert_eq!(d[0], BreakDelta { t: 0.0, jump: SZ, slope: 0.0 });
+        for t in [-5.0, 0.0, 100.0, 249.0, 250.0, 300.0, 350.0, 400.0] {
+            assert!(
+                (eval_deltas(&d, t) - p.space_at(t)).abs() < 1e-9 * SZ,
+                "t={t}: deltas {} vs space_at {}",
+                eval_deltas(&d, t),
+                p.space_at(t)
+            );
+        }
+    }
+
+    #[test]
+    fn slope_deltas_reproduce_space_at_gradual() {
+        let p = SpaceProfile::with_model(20.0, 170.0, SZ, P, SpaceModel::GradualFill);
+        let d = p.slope_deltas();
+        assert_eq!(d.len(), 4, "gradual fill: rise pair + drain pair");
+        for t in [0.0, 20.0, 60.0, 120.0, 170.0, 200.0, 270.0, 300.0] {
+            assert!(
+                (eval_deltas(&d, t) - p.space_at(t)).abs() < 1e-9 * SZ,
+                "t={t}: deltas {} vs space_at {}",
+                eval_deltas(&d, t),
+                p.space_at(t)
+            );
+        }
+        // Past the support the deltas cancel to ~0 (exact cancellation of
+        // the ± slope pairs up to one rounding of plateau/drain).
+        assert!(eval_deltas(&d, 1e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slope_deltas_of_degenerate_profile_are_empty() {
+        let p = SpaceProfile::new(30.0, 30.0, SZ, P);
+        assert!(p.slope_deltas().is_empty());
+    }
+
+    #[test]
+    fn slope_delta_times_are_non_decreasing() {
+        for p in [
+            SpaceProfile::new(3.0, 9.0, SZ, P),
+            SpaceProfile::with_model(3.0, 103.0, SZ, P, SpaceModel::GradualFill),
+            SpaceProfile::with_model(3.0, 500.0, SZ, P, SpaceModel::GradualFill),
+        ] {
+            let d = p.slope_deltas();
+            assert!(d.windows(2).all(|w| w[0].t <= w[1].t), "{d:?}");
+        }
     }
 }

@@ -10,6 +10,12 @@ cargo build --release --offline
 echo "==> cargo test -q"
 cargo test -q --offline
 
+echo "==> cargo test -q --release (workspace, optimized)"
+cargo test -q --release --offline --workspace
+
+echo "==> bench smoke run (capacity_timeline --test)"
+cargo bench --offline -p vod-bench --bench capacity_timeline -- --test
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -14,6 +14,11 @@
 //! or saved baseline — swap in the real crate for those. Numbers from
 //! this harness are comparable *within* one machine and run, which is
 //! all the repo's EXPERIMENTS.md tables claim.
+//!
+//! Like the real harness, passing `--test` on the command line switches
+//! to a smoke mode that executes every benchmark routine exactly once
+//! (no calibration, no sampling) — CI uses it to type-check *and* run
+//! the bench bodies cheaply under optimizations.
 
 #![forbid(unsafe_code)]
 
@@ -23,6 +28,12 @@ use std::time::{Duration, Instant};
 /// Re-export of `std::hint::black_box`, criterion-style.
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
+}
+
+/// Whether the harness was invoked in `--test` smoke mode (mirrors real
+/// criterion: run every routine once, skip measurement).
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
 }
 
 /// Mirror of `criterion::BatchSize`. The shim sizes batches itself, so
@@ -100,6 +111,7 @@ fn fmt_ns(ns: f64) -> String {
 /// Mirror of `criterion::Bencher`: hands the routine to the sampler.
 pub struct Bencher<'a> {
     sample_size: usize,
+    smoke: bool,
     samples: &'a mut Samples,
 }
 
@@ -107,6 +119,12 @@ impl Bencher<'_> {
     /// Time `routine`, auto-batching fast routines so each sample is
     /// long enough for the OS clock to resolve.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.record(start.elapsed(), 1);
+            return;
+        }
         // Calibrate: grow the batch until one batch takes >= 2 ms.
         let mut iters: u64 = 1;
         loop {
@@ -138,7 +156,8 @@ impl Bencher<'_> {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
-        for _ in 0..self.sample_size {
+        let samples = if self.smoke { 1 } else { self.sample_size };
+        for _ in 0..samples {
             let input = setup();
             let start = Instant::now();
             std::hint::black_box(routine(input));
@@ -149,8 +168,13 @@ impl Bencher<'_> {
 
 fn run_bench<F: FnMut(&mut Bencher<'_>)>(name: &str, sample_size: usize, mut f: F) {
     let mut samples = Samples::default();
-    f(&mut Bencher { sample_size, samples: &mut samples });
-    samples.report(name);
+    let smoke = smoke_mode();
+    f(&mut Bencher { sample_size, smoke, samples: &mut samples });
+    if smoke {
+        println!("{name:<50} (smoke: ran once, not measured)");
+    } else {
+        samples.report(name);
+    }
 }
 
 /// Mirror of `criterion::Criterion`.
