@@ -25,6 +25,18 @@ impl<'a> SchedCtx<'a> {
         Self { topo, routes: RouteTable::build(topo), model, catalog }
     }
 
+    /// Build a context over an explicit route table — e.g. a degraded
+    /// table from [`RouteTable::build_avoiding`] that routes around
+    /// failed links while pricing stays on the real topology rates.
+    pub fn with_routes(
+        topo: &'a Topology,
+        routes: RouteTable,
+        model: &'a CostModel,
+        catalog: &'a Catalog,
+    ) -> Self {
+        Self { topo, routes, model, catalog }
+    }
+
     /// Ψ(S_i) for one video's schedule.
     pub fn video_cost(&self, s: &VideoSchedule) -> Dollars {
         self.model.video_schedule_cost(self.topo, self.catalog.get(s.video), s)

@@ -220,9 +220,18 @@ fn greedy(
     for req in requests {
         let local = ctx.topo.home_of(req.user);
         let mut best: Option<Candidate> = None;
-        let consider = |cand: Candidate, best: &mut Option<Candidate>| match best {
-            Some(b) if !cand.beats(b) => {}
-            _ => *best = Some(cand),
+        let consider = |cand: Candidate, best: &mut Option<Candidate>| {
+            // Degraded route tables (built around failed links) price
+            // unreachable placements at infinity; they must never win,
+            // not even on the priority tie-break (infinite tolerances
+            // make the epsilon comparisons vacuous).
+            if !cand.cost.is_finite() {
+                return;
+            }
+            match best {
+                Some(b) if !cand.beats(b) => {}
+                _ => *best = Some(cand),
+            }
         };
 
         // Enumerate sources: the warehouse plus every existing cache.

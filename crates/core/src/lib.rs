@@ -60,6 +60,7 @@ mod greedy;
 pub mod heat;
 mod overflow;
 mod pricing;
+mod repair;
 mod sorp;
 mod timeline;
 
@@ -76,6 +77,9 @@ pub use greedy::{
 pub use heat::{delta_s, heat_of, improved_period, improvement_window, HeatMetric};
 pub use overflow::{detect_overflows, overflow_set, Interval, Overflow};
 pub use pricing::{ivsp_solve_priced, ivsp_solve_priced_with, PricedSchedule};
+pub use repair::{
+    repair_schedule, DelayRecord, RepairConfig, RepairOutcome, ShedReason, ShedRecord,
+};
 pub use sorp::{
     sorp_solve, sorp_solve_priced, sorp_solve_seeded, SorpConfig, SorpOutcome, VictimRecord,
     EXTERNAL_OCCUPANCY,

@@ -1,0 +1,501 @@
+//! Incremental schedule repair after injected faults (degraded-mode
+//! operation).
+//!
+//! Given a committed [`PricedSchedule`] and a [`FaultPlan`], the repair
+//! scheduler invalidates only the videos a fault actually breaks
+//! ([`FaultPlan::impact`]) and re-admits them through the existing SORP
+//! machinery: the rejective greedy re-sources each broken service from
+//! the warehouse or a surviving cache, routed over a degraded route
+//! table that avoids every failed link, with the outage windows handed
+//! to the greedy as forbidden placement intervals. The untouched
+//! majority of the schedule keeps its memoized Ψ — repair cost is the
+//! sum of per-video commit deltas, exactly like a SORP iteration, not a
+//! from-scratch reschedule.
+//!
+//! Requests whose home storage is unreachable without the failed links
+//! cannot be rerouted at their reserved time. For those the repair
+//! retries in sim-time with exponential backoff
+//! (`start + base_backoff · 2^(k−1)` for attempt `k`), delivering
+//! directly over the original route in the first window where every hop
+//! is fault-free for a full playback. When no attempt within
+//! [`RepairConfig::max_retries`] finds a clear window, the request is
+//! *shed* — reported in the outcome (lowest-heat first, where a video's
+//! heat is its delivered-request count, the popularity proxy) instead
+//! of panicking or silently dropping service.
+
+use crate::greedy::{reschedule_video, Constraints};
+use crate::{Interval, PricedSchedule, SchedCtx, StorageLedger};
+use vod_cost_model::{Dollars, Request, Secs, Transfer, VideoId, VideoSchedule};
+use vod_faults::{FaultError, FaultPlan};
+use vod_topology::RouteTable;
+
+/// Retry/backoff policy for bridge-dependent requests.
+#[derive(Clone, Debug)]
+pub struct RepairConfig {
+    /// Maximum delayed delivery attempts per request (attempt 0 at the
+    /// reserved time is free; each later attempt backs off exponentially).
+    pub max_retries: u32,
+    /// First backoff step in seconds; attempt `k ≥ 1` fires at
+    /// `start + base_backoff · 2^(k−1)`.
+    pub base_backoff: Secs,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        Self { max_retries: 4, base_backoff: 900.0 }
+    }
+}
+
+/// Why a request was shed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Every delivery attempt within the retry budget hit an active
+    /// link failure on the only route to the user's home storage.
+    RetriesExhausted,
+}
+
+/// One request the repair could not serve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShedRecord {
+    /// The dropped request (original reserved time).
+    pub request: Request,
+    /// The video's heat proxy: its delivered-request count before the
+    /// fault. Records are sorted ascending, lowest-heat first.
+    pub heat: usize,
+    /// Why no feasible repair existed.
+    pub reason: ShedReason,
+}
+
+/// One request served later than reserved (backoff found a clear window).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DelayRecord {
+    /// The request at its original reserved time.
+    pub request: Request,
+    /// The delivery time the repair settled on.
+    pub delayed_start: Secs,
+    /// Which backoff attempt succeeded (`1` = first retry).
+    pub attempts: u32,
+}
+
+/// The result of [`repair_schedule`].
+#[derive(Clone, Debug)]
+pub struct RepairOutcome {
+    /// The repaired schedule (untouched videos bit-identical).
+    pub priced: PricedSchedule,
+    /// Ψ of the schedule before repair.
+    pub pre_repair_cost: Dollars,
+    /// Videos the repair re-admitted, ascending.
+    pub repaired_videos: Vec<VideoId>,
+    /// Requests shed for lack of any feasible repair, lowest heat first.
+    pub shed: Vec<ShedRecord>,
+    /// Requests delivered late after backoff.
+    pub delayed: Vec<DelayRecord>,
+    /// Total backoff attempts spent across all bridge-dependent requests.
+    pub retry_attempts: u32,
+    /// Whether the plan broke nothing and the schedule is bit-identical
+    /// to the input.
+    pub unchanged: bool,
+}
+
+impl RepairOutcome {
+    /// Ψ of the repaired schedule.
+    pub fn cost(&self) -> Dollars {
+        self.priced.total()
+    }
+
+    /// The request set the repaired schedule actually serves: `original`
+    /// minus shed requests, with delayed requests shifted to their
+    /// delivery time. This is what strict replay must check coverage
+    /// against.
+    pub fn adjusted_requests(&self, original: &[Request]) -> Vec<Request> {
+        let key = |r: &Request| (r.user, r.video, r.start.to_bits());
+        let shed: std::collections::HashSet<_> =
+            self.shed.iter().map(|s| key(&s.request)).collect();
+        let delayed: std::collections::HashMap<_, Secs> =
+            self.delayed.iter().map(|d| (key(&d.request), d.delayed_start)).collect();
+        original
+            .iter()
+            .filter(|r| !shed.contains(&key(r)))
+            .map(|r| match delayed.get(&key(r)) {
+                Some(&t) => Request { start: t, ..*r },
+                None => *r,
+            })
+            .collect()
+    }
+}
+
+/// Repair a committed schedule against a fault plan. Deterministic:
+/// the same schedule + plan + config always yields bit-identical repair
+/// decisions. An empty or irrelevant plan returns the input schedule
+/// unchanged (bit-identical, `unchanged = true`). Errs only when the
+/// plan does not validate against the topology.
+pub fn repair_schedule(
+    ctx: &SchedCtx<'_>,
+    priced: PricedSchedule,
+    plan: &FaultPlan,
+    cfg: &RepairConfig,
+) -> Result<RepairOutcome, FaultError> {
+    plan.validate(ctx.topo)?;
+    let impact = plan.impact(priced.schedule(), ctx.catalog, ctx.model.space_model());
+    let pre_repair_cost = priced.total();
+    if impact.affected_videos.is_empty() {
+        return Ok(RepairOutcome {
+            priced,
+            pre_repair_cost,
+            repaired_videos: Vec::new(),
+            shed: Vec::new(),
+            delayed: Vec::new(),
+            retry_attempts: 0,
+            unchanged: true,
+        });
+    }
+
+    // Degraded context: route around every failed link for the whole
+    // horizon (conservative — a repaired stream must not depend on the
+    // timing of a failure), while pricing stays on the real rates.
+    let droutes = RouteTable::build_avoiding(ctx.topo, &plan.failed_links());
+    let dctx = SchedCtx::with_routes(ctx.topo, droutes, ctx.model, ctx.catalog);
+
+    // Occupancy of the whole committed schedule; repaired videos are
+    // excluded per-video via `Constraints::exclude` and re-entered on
+    // commit, exactly like a SORP iteration.
+    let mut ledger = StorageLedger::from_schedule(ctx.topo, ctx.catalog, priced.schedule());
+    let forbidden: Vec<_> = plan
+        .outage_windows()
+        .into_iter()
+        .map(|(node, from, until)| (node, Interval::new(from, until)))
+        .collect();
+
+    let vw = ctx.topo.warehouse();
+    let mut priced = priced;
+    let mut shed = Vec::new();
+    let mut delayed = Vec::new();
+    let mut retry_attempts = 0u32;
+    let repaired_videos: Vec<VideoId> = impact.affected_videos.iter().copied().collect();
+
+    for &vid in &repaired_videos {
+        let old_vs = priced.schedule().video(vid).expect("affected video is scheduled").clone();
+        let requests = old_vs.delivered_requests();
+        let heat = requests.len();
+        let playback = ctx.catalog.get(vid).playback;
+
+        // Partition: requests whose home is reachable around the failed
+        // links are re-admitted at their reserved time; the rest depend
+        // on a failed bridge and enter the retry/backoff path.
+        let mut servable = Vec::new();
+        let mut bridge_dependent = Vec::new();
+        for req in requests {
+            if dctx.routes.reachable(vw, ctx.topo.home_of(req.user)) {
+                servable.push(req);
+            } else {
+                bridge_dependent.push(req);
+            }
+        }
+
+        let mut new_vs = if servable.is_empty() {
+            VideoSchedule::new(vid)
+        } else {
+            let cons = Constraints { ledger: &ledger, exclude: Some(vid), forbidden: &forbidden };
+            reschedule_video(&dctx, &servable, &cons)
+        };
+
+        for req in bridge_dependent {
+            // The original cheapest route exists on the full topology;
+            // deliver over it in the first backoff window where every
+            // hop stays up for the whole playback.
+            let route = ctx.routes.path(vw, ctx.topo.home_of(req.user));
+            let mut served = false;
+            for k in 0..=cfg.max_retries {
+                let t = if k == 0 {
+                    req.start
+                } else {
+                    retry_attempts += 1;
+                    req.start + cfg.base_backoff * (1u64 << (k - 1)) as f64
+                };
+                let clear = route
+                    .nodes
+                    .windows(2)
+                    .all(|hop| !plan.link_failed_during(hop[0], hop[1], t, t + playback));
+                if clear {
+                    let shifted = Request { start: t, ..req };
+                    new_vs.transfers.push(Transfer::for_user(&shifted, route.clone()));
+                    if k > 0 {
+                        delayed.push(DelayRecord { request: req, delayed_start: t, attempts: k });
+                    }
+                    served = true;
+                    break;
+                }
+            }
+            if !served {
+                shed.push(ShedRecord { request: req, heat, reason: ShedReason::RetriesExhausted });
+            }
+        }
+
+        commit(ctx, &mut priced, &mut ledger, new_vs);
+    }
+
+    // Graceful degradation reports lowest-heat casualties first; ties
+    // break on (video, user, time) for determinism.
+    shed.sort_by(|a, b| {
+        (a.heat, a.request.video, a.request.user)
+            .cmp(&(b.heat, b.request.video, b.request.user))
+            .then(a.request.start.total_cmp(&b.request.start))
+    });
+
+    Ok(RepairOutcome {
+        priced,
+        pre_repair_cost,
+        repaired_videos,
+        shed,
+        delayed,
+        retry_attempts,
+        unchanged: false,
+    })
+}
+
+/// Replace one video's schedule in both the ledger and the pricing memo
+/// (the SORP commit discipline).
+fn commit(
+    ctx: &SchedCtx<'_>,
+    priced: &mut PricedSchedule,
+    ledger: &mut StorageLedger,
+    new_vs: VideoSchedule,
+) {
+    let vid = new_vs.video;
+    if let Some(old_vs) = priced.schedule().video(vid) {
+        for r in &old_vs.residencies {
+            ledger.remove(r.loc, vid);
+        }
+    }
+    debug_assert!(!ledger.contains_video(vid), "stale ledger profiles for repaired video");
+    for r in &new_vs.residencies {
+        ledger.add(r.loc, r.video, r.profile(ctx.catalog.get(r.video)));
+    }
+    priced.commit(ctx, new_vs);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ivsp_solve_priced, sorp_solve_priced, ExecMode, SorpConfig};
+    use vod_cost_model::CostModel;
+    use vod_faults::{Fault, FaultConfig};
+    use vod_topology::{builders, NodeId, Topology};
+    use vod_workload::{CatalogConfig, RequestConfig, Workload};
+
+    fn world(capacity_gb: f64, seed: u64) -> (Topology, Workload) {
+        let cfg = builders::PaperFig4Config { capacity_gb, ..Default::default() };
+        let topo = builders::paper_fig4(&cfg);
+        let wl =
+            Workload::generate(&topo, &CatalogConfig::small(40), &RequestConfig::paper(), seed);
+        (topo, wl)
+    }
+
+    fn committed(ctx: &SchedCtx<'_>, wl: &Workload) -> PricedSchedule {
+        let phase1 = ivsp_solve_priced(ctx, &wl.requests);
+        let outcome =
+            sorp_solve_priced(ctx, phase1, &SorpConfig::default(), &[], ExecMode::default());
+        PricedSchedule::price(ctx, outcome.schedule)
+    }
+
+    #[test]
+    fn empty_plan_is_a_bit_identical_noop() {
+        let (topo, wl) = world(5.0, 21);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
+        let priced = committed(&ctx, &wl);
+        let before = priced.schedule().clone();
+        let total = priced.total();
+
+        let out =
+            repair_schedule(&ctx, priced, &FaultPlan::empty(), &RepairConfig::default()).unwrap();
+        assert!(out.unchanged);
+        assert_eq!(out.priced.schedule(), &before, "no-op repair must be bit-identical");
+        assert_eq!(out.cost(), total);
+        assert!(out.shed.is_empty() && out.delayed.is_empty());
+        assert_eq!(out.retry_attempts, 0);
+    }
+
+    #[test]
+    fn irrelevant_fault_is_also_a_noop() {
+        let (topo, wl) = world(5.0, 22);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
+        let priced = committed(&ctx, &wl);
+        let before = priced.schedule().clone();
+
+        // An outage far outside the horizon breaks nothing.
+        let plan =
+            FaultPlan::new(vec![Fault::NodeOutage { node: NodeId(1), from: 1e9, until: 2e9 }]);
+        let out = repair_schedule(&ctx, priced, &plan, &RepairConfig::default()).unwrap();
+        assert!(out.unchanged);
+        assert_eq!(out.priced.schedule(), &before);
+    }
+
+    #[test]
+    fn invalid_plan_is_a_typed_error() {
+        let (topo, wl) = world(5.0, 23);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
+        let priced = committed(&ctx, &wl);
+        let plan = FaultPlan::new(vec![Fault::NodeOutage {
+            node: topo.warehouse(),
+            from: 0.0,
+            until: 1.0,
+        }]);
+        let err = repair_schedule(&ctx, priced, &plan, &RepairConfig::default()).unwrap_err();
+        assert_eq!(err, FaultError::WarehouseOutage(topo.warehouse()));
+    }
+
+    #[test]
+    fn outage_repair_moves_residencies_off_the_down_node() {
+        let (topo, wl) = world(5.0, 24);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
+        let priced = committed(&ctx, &wl);
+
+        // Find a storage actually hosting data mid-horizon.
+        let victim = priced
+            .schedule()
+            .residencies()
+            .find(|r| r.last_service > r.start)
+            .map(|r| r.loc)
+            .expect("committed schedule caches something");
+        let plan = FaultPlan::new(vec![Fault::NodeOutage {
+            node: victim,
+            from: 0.0,
+            until: 48.0 * 3600.0,
+        }]);
+        let impact = plan.impact(priced.schedule(), &wl.catalog, model.space_model());
+        assert!(!impact.broken_residencies.is_empty());
+
+        let out = repair_schedule(&ctx, priced, &plan, &RepairConfig::default()).unwrap();
+        assert!(!out.unchanged);
+        assert_eq!(out.repaired_videos, impact.affected_videos.iter().copied().collect::<Vec<_>>());
+        // No repaired video may still store data at the down node during
+        // the outage.
+        let space = model.space_model();
+        for &vid in &out.repaired_videos {
+            let vs = out.priced.schedule().video(vid).unwrap();
+            for r in &vs.residencies {
+                let p = r.profile_with(ctx.catalog.get(vid), space);
+                assert!(
+                    !(r.loc == victim && p.peak() > 0.0),
+                    "video {vid:?} still caches at the down node"
+                );
+            }
+        }
+        // Nothing was shed: every home stays reachable (no link failures).
+        assert!(out.shed.is_empty());
+        assert!(out.delayed.is_empty());
+        // The plan no longer breaks anything.
+        let post = plan.impact(out.priced.schedule(), &wl.catalog, space);
+        assert!(post.is_empty(), "repair left broken services: {post:?}");
+        assert!(out.priced.consistent_with(&ctx), "pricing memo diverged");
+    }
+
+    #[test]
+    fn repair_is_deterministic() {
+        let (topo, wl) = world(5.0, 25);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
+        let plan = FaultPlan::generate(&topo, &FaultConfig::default(), 77);
+
+        let run = || {
+            let priced = committed(&ctx, &wl);
+            let out = repair_schedule(&ctx, priced, &plan, &RepairConfig::default()).unwrap();
+            (out.priced.schedule().clone(), out.cost(), out.shed, out.delayed)
+        };
+        let (s1, c1, shed1, delayed1) = run();
+        let (s2, c2, shed2, delayed2) = run();
+        assert_eq!(s1, s2, "same plan must give bit-identical repairs");
+        assert_eq!(c1, c2);
+        assert_eq!(shed1, shed2);
+        assert_eq!(delayed1, delayed2);
+    }
+
+    /// A line topology VW—IS1—IS2 where IS2's only route crosses IS1—IS2:
+    /// failing that bridge forces backoff, and a failure outlasting the
+    /// budget forces shedding.
+    fn line() -> (Topology, Workload) {
+        let mut b = vod_topology::TopologyBuilder::new();
+        let vw = b.add_warehouse("VW");
+        let is1 = b.add_storage("IS1", vod_topology::units::srate_per_gb_hour(1.0), 5e9);
+        let is2 = b.add_storage("IS2", vod_topology::units::srate_per_gb_hour(1.0), 5e9);
+        b.connect(vw, is1, vod_topology::units::nrate_per_gb(100.0)).unwrap();
+        b.connect(is1, is2, vod_topology::units::nrate_per_gb(100.0)).unwrap();
+        b.add_users(is1, 2);
+        b.add_users(is2, 2);
+        let topo = b.build().unwrap();
+        let wl = Workload::generate(&topo, &CatalogConfig::small(6), &RequestConfig::paper(), 31);
+        (topo, wl)
+    }
+
+    #[test]
+    fn bridge_failure_delays_or_sheds_cut_off_requests() {
+        let (topo, wl) = line();
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
+        let priced = committed(&ctx, &wl);
+
+        // Fail the IS1—IS2 bridge around some victim delivery long enough
+        // that the first backoff attempts land inside the failure but a
+        // later one clears it.
+        let victim = priced
+            .schedule()
+            .transfers()
+            .find(|t| {
+                t.user.is_some()
+                    && t.route.windows(2).any(|h| {
+                        (h[0] == NodeId(1) && h[1] == NodeId(2))
+                            || (h[0] == NodeId(2) && h[1] == NodeId(1))
+                    })
+            })
+            .cloned()
+            .expect("some delivery crosses the bridge");
+        let playback = wl.catalog.get(victim.video).playback;
+        let cfg = RepairConfig::default();
+
+        // Recoverable: failure ends before the last backoff attempt.
+        let clears_at = victim.start + cfg.base_backoff * 4.0; // attempt 3 fires at +4·base
+        let plan = FaultPlan::new(vec![Fault::LinkFailure {
+            a: NodeId(1),
+            b: NodeId(2),
+            from: victim.start - 1.0,
+            until: clears_at,
+        }]);
+        let out = repair_schedule(&ctx, committed(&ctx, &wl), &plan, &cfg).unwrap();
+        assert!(!out.delayed.is_empty(), "the victim must be delivered late");
+        assert!(out.retry_attempts > 0);
+        for d in &out.delayed {
+            assert!(d.delayed_start >= clears_at, "delivery inside the failure window");
+            // The delayed transfer exists in the repaired schedule.
+            let vs = out.priced.schedule().video(d.request.video).unwrap();
+            assert!(vs
+                .transfers
+                .iter()
+                .any(|t| t.user == Some(d.request.user) && t.start == d.delayed_start));
+        }
+
+        // Unrecoverable: failure outlasts every backoff attempt + playback.
+        let horizon = victim.start + cfg.base_backoff * 100.0 + playback * 4.0;
+        let plan = FaultPlan::new(vec![Fault::LinkFailure {
+            a: NodeId(1),
+            b: NodeId(2),
+            from: 0.0,
+            until: horizon,
+        }]);
+        let out = repair_schedule(&ctx, committed(&ctx, &wl), &plan, &cfg).unwrap();
+        assert!(!out.shed.is_empty(), "cut-off requests must be shed, not dropped silently");
+        assert!(out.shed.windows(2).all(|w| w[0].heat <= w[1].heat), "lowest heat first");
+        for s in &out.shed {
+            assert_eq!(s.reason, ShedReason::RetriesExhausted);
+            assert_eq!(topo.home_of(s.request.user), NodeId(2), "only cut-off homes shed");
+        }
+        // adjusted_requests drops exactly the shed set.
+        let original: Vec<Request> =
+            wl.requests.groups().flat_map(|(_, g)| g.iter().copied()).collect();
+        let adjusted = out.adjusted_requests(&original);
+        assert_eq!(adjusted.len(), original.len() - out.shed.len());
+    }
+}

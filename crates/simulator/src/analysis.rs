@@ -105,9 +105,7 @@ impl ScheduleAnalysis {
                 cost: model.video_schedule_cost(topo, catalog.get(vs.video), vs),
             })
             .collect();
-        top_videos.sort_by(|a, b| {
-            b.cost.partial_cmp(&a.cost).expect("finite costs").then(a.video.cmp(&b.video))
-        });
+        top_videos.sort_by(|a, b| b.cost.total_cmp(&a.cost).then(a.video.cmp(&b.video)));
 
         let mut hop_histogram = Vec::new();
         for t in schedule.transfers() {
@@ -178,8 +176,7 @@ impl ScheduleAnalysis {
         let _ = writeln!(out);
         let _ = writeln!(out, "busiest storages (peak utilization):");
         let mut by_util: Vec<&StorageStats> = self.storages.iter().collect();
-        by_util
-            .sort_by(|a, b| b.peak_utilization.partial_cmp(&a.peak_utilization).expect("finite"));
+        by_util.sort_by(|a, b| b.peak_utilization.total_cmp(&a.peak_utilization));
         for s in by_util.iter().take(top_n) {
             let _ = writeln!(
                 out,

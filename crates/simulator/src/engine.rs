@@ -3,11 +3,13 @@
 
 use crate::event::{Event, EventKind, EventQueue};
 use crate::report::{Metrics, SimReport, Violation};
-use crate::validate::structural_checks;
+use crate::validate::{check_finite_times, structural_checks};
+use std::collections::HashMap;
 use vod_cost_model::{
-    Catalog, ChargingBasis, CostModel, RequestBatch, Schedule, Secs, SpaceProfile,
+    Catalog, ChargingBasis, CostModel, Request, RequestBatch, Schedule, Secs, SpaceProfile, VideoId,
 };
-use vod_topology::Topology;
+use vod_faults::{Fault, FaultError, FaultPlan};
+use vod_topology::{NodeId, Topology};
 
 /// What to check during simulation.
 #[derive(Clone, Copy, Debug)]
@@ -53,8 +55,66 @@ pub fn simulate(
     schedule: &Schedule,
     options: &SimOptions<'_>,
 ) -> SimReport {
+    match simulate_with_faults(topo, catalog, model, schedule, &FaultPlan::empty(), &[], options) {
+        Ok(report) => report,
+        // The empty plan validates against every topology.
+        Err(e) => unreachable!("empty fault plan rejected: {e}"),
+    }
+}
+
+/// Replay `schedule` with an injected [`FaultPlan`] merged into the event
+/// queue: node outages, link failures, and bandwidth degradations open and
+/// close as timed events, and the replay reports exactly which streams and
+/// cached copies each fault breaks ([`Violation::StreamOnFailedLink`],
+/// [`Violation::ResidencyLostToOutage`]). Requests deliberately dropped by
+/// degraded-mode repair are passed as `shed`: each one is reported as a
+/// [`Violation::RequestShed`] and excused from the coverage check instead
+/// of double-counting as a missing delivery.
+///
+/// Fails with a typed error when the plan references nodes or links the
+/// topology does not have (or outages the warehouse).
+pub fn simulate_with_faults(
+    topo: &Topology,
+    catalog: &Catalog,
+    model: &CostModel,
+    schedule: &Schedule,
+    plan: &FaultPlan,
+    shed: &[Request],
+    options: &SimOptions<'_>,
+) -> Result<SimReport, FaultError> {
+    plan.validate(topo)?;
+
     let mut violations = Vec::new();
-    structural_checks(topo, schedule, options.requests, &mut violations);
+    for r in shed {
+        violations.push(Violation::RequestShed { user: r.user, video: r.video, start: r.start });
+    }
+    // Shed requests are accounted for above; remove them from the batch so
+    // coverage does not re-report them as missing deliveries.
+    let filtered: Option<RequestBatch> = match (options.requests, shed.is_empty()) {
+        (Some(batch), false) => {
+            let mut drop: HashMap<(u32, u32, u64), usize> = HashMap::new();
+            for r in shed {
+                *drop.entry((r.user.0, r.video.0, r.start.to_bits())).or_insert(0) += 1;
+            }
+            Some(RequestBatch::new(
+                batch
+                    .iter()
+                    .filter(|r| match drop.get_mut(&(r.user.0, r.video.0, r.start.to_bits())) {
+                        Some(n) if *n > 0 => {
+                            *n -= 1;
+                            false
+                        }
+                        _ => true,
+                    })
+                    .copied()
+                    .collect(),
+            ))
+        }
+        _ => None,
+    };
+    let requests = filtered.as_ref().or(options.requests);
+    structural_checks(topo, schedule, requests, &mut violations);
+    let times_ok = check_finite_times(schedule, &mut violations);
 
     // Flatten transfers and residencies for index-based events.
     let transfers: Vec<_> = schedule.transfers().collect();
@@ -64,54 +124,69 @@ pub fn simulate(
         .map(|r| r.profile_with(catalog.get(r.video), model.space_model()))
         .collect();
 
+    let faults = plan.faults();
     let mut queue = EventQueue::new();
-    for (i, t) in transfers.iter().enumerate() {
-        let playback = catalog.get(t.video).playback;
-        queue.push(Event {
-            time: t.start,
-            video: t.video,
-            node: t.src(),
-            kind: EventKind::StreamStart { transfer: i },
-        });
-        queue.push(Event {
-            time: t.start + playback,
-            video: t.video,
-            node: t.src(),
-            kind: EventKind::StreamEnd { transfer: i },
-        });
-    }
-    let mut relay_points = 0usize;
-    for (i, (r, p)) in residencies.iter().zip(&profiles).enumerate() {
-        if p.peak() == 0.0 {
-            relay_points += 1;
-            continue;
-        }
-        queue.push(Event {
-            time: p.start,
-            video: r.video,
-            node: r.loc,
-            kind: EventKind::CacheFillStart { residency: i },
-        });
-        if p.full > p.start {
+    let relay_points = residencies.iter().zip(&profiles).filter(|(_, p)| p.peak() == 0.0).count();
+    // A non-finite time anywhere would break the queue's ordering; the
+    // offenders are already reported, so leave the queue empty and skip
+    // the dynamic replay.
+    if times_ok {
+        for (i, t) in transfers.iter().enumerate() {
+            let playback = catalog.get(t.video).playback;
             queue.push(Event {
-                time: p.full,
-                video: r.video,
-                node: r.loc,
-                kind: EventKind::CacheFillComplete { residency: i },
+                time: t.start,
+                video: t.video,
+                node: t.src(),
+                kind: EventKind::StreamStart { transfer: i },
+            });
+            queue.push(Event {
+                time: t.start + playback,
+                video: t.video,
+                node: t.src(),
+                kind: EventKind::StreamEnd { transfer: i },
             });
         }
-        queue.push(Event {
-            time: p.last,
-            video: r.video,
-            node: r.loc,
-            kind: EventKind::CacheDrainStart { residency: i },
-        });
-        queue.push(Event {
-            time: p.end,
-            video: r.video,
-            node: r.loc,
-            kind: EventKind::CacheDrainEnd { residency: i },
-        });
+        for (i, (r, p)) in residencies.iter().zip(&profiles).enumerate() {
+            if p.peak() == 0.0 {
+                continue;
+            }
+            queue.push(Event {
+                time: p.start,
+                video: r.video,
+                node: r.loc,
+                kind: EventKind::CacheFillStart { residency: i },
+            });
+            if p.full > p.start {
+                queue.push(Event {
+                    time: p.full,
+                    video: r.video,
+                    node: r.loc,
+                    kind: EventKind::CacheFillComplete { residency: i },
+                });
+            }
+            queue.push(Event {
+                time: p.last,
+                video: r.video,
+                node: r.loc,
+                kind: EventKind::CacheDrainStart { residency: i },
+            });
+            queue.push(Event {
+                time: p.end,
+                video: r.video,
+                node: r.loc,
+                kind: EventKind::CacheDrainEnd { residency: i },
+            });
+        }
+        for (i, f) in faults.iter().enumerate() {
+            let (from, until) = f.window();
+            let node = match *f {
+                Fault::NodeOutage { node, .. } => node,
+                Fault::LinkFailure { a, .. } | Fault::LinkDegraded { a, .. } => a,
+            };
+            let video = VideoId(0); // tracing only; the key's idx disambiguates
+            queue.push(Event { time: from, video, node, kind: EventKind::FaultStart { fault: i } });
+            queue.push(Event { time: until, video, node, kind: EventKind::FaultEnd { fault: i } });
+        }
     }
 
     // Replay state.
@@ -125,8 +200,26 @@ pub fn simulate(
     let mut node_last_event = vec![f64::NAN; n];
     let mut node_integral = vec![0.0f64; n];
     // Worst capacity / bandwidth excursions, reported once per offender.
+    // Links carry the effective capacity observed at the excursion, which
+    // degradation faults can shrink below the declared one.
     let mut worst_capacity: Vec<Option<(Secs, f64)>> = vec![None; n];
-    let mut worst_link: Vec<Option<(Secs, f64)>> = vec![None; topo.edge_count()];
+    let mut worst_link: Vec<Option<(Secs, f64, f64)>> = vec![None; topo.edge_count()];
+    // Fault bookkeeping: overlapping windows stack, so count rather than
+    // flag; degradation factors multiply while active.
+    let mut node_down = vec![0usize; n];
+    let mut link_failed = vec![0usize; topo.edge_count()];
+    let mut link_factors: Vec<Vec<f64>> = vec![Vec::new(); topo.edge_count()];
+    let mut stream_active = vec![false; transfers.len()];
+    let mut residency_active = vec![false; residencies.len()];
+    let edge_index = |a: NodeId, b: NodeId| -> Option<usize> {
+        topo.neighbors(a).iter().find(|(nb, _)| *nb == b).map(|&(_, e)| e)
+    };
+    fn note_overload(worst: &mut Option<(Secs, f64, f64)>, demand: f64, cap: f64, time: Secs) {
+        let excess = demand - cap;
+        if excess > cap * 1e-9 && worst.is_none_or(|(_, e, _)| excess > e) {
+            *worst = Some((time, excess, cap));
+        }
+    }
 
     let occupancy_at = |node: vod_topology::NodeId, t: Secs| -> f64 {
         residencies
@@ -147,23 +240,32 @@ pub fn simulate(
         match ev.kind {
             EventKind::StreamStart { transfer } => {
                 let t = transfers[transfer];
+                stream_active[transfer] = true;
                 let bw = catalog.get(t.video).bandwidth;
+                let mut failed_hop_reported = false;
                 for hop in t.route.windows(2) {
-                    if let Some((_, eidx)) =
-                        topo.neighbors(hop[0]).iter().find(|(nb, _)| *nb == hop[1]).copied()
-                    {
+                    if let Some(eidx) = edge_index(hop[0], hop[1]) {
                         link_demand[eidx] += bw;
                         link_streams[eidx] += 1;
                         peak_link_streams[eidx] = peak_link_streams[eidx].max(link_streams[eidx]);
+                        if link_failed[eidx] > 0 && !failed_hop_reported {
+                            violations.push(Violation::StreamOnFailedLink {
+                                video: t.video,
+                                a: hop[0],
+                                b: hop[1],
+                                time: ev.time,
+                            });
+                            failed_hop_reported = true;
+                        }
                         if options.check_bandwidth {
                             if let Some(cap) = topo.edges()[eidx].bandwidth {
-                                let excess = link_demand[eidx] - cap;
-                                if excess > cap * 1e-9 {
-                                    let w = &mut worst_link[eidx];
-                                    if w.is_none_or(|(_, e)| excess > e) {
-                                        *w = Some((ev.time, excess));
-                                    }
-                                }
+                                let cap = cap * link_factors[eidx].iter().product::<f64>();
+                                note_overload(
+                                    &mut worst_link[eidx],
+                                    link_demand[eidx],
+                                    cap,
+                                    ev.time,
+                                );
                             }
                         }
                     }
@@ -172,22 +274,105 @@ pub fn simulate(
             }
             EventKind::StreamEnd { transfer } => {
                 let t = transfers[transfer];
+                stream_active[transfer] = false;
                 let bw = catalog.get(t.video).bandwidth;
                 for hop in t.route.windows(2) {
-                    if let Some(&(_, eidx)) =
-                        topo.neighbors(hop[0]).iter().find(|(nb, _)| *nb == hop[1])
-                    {
+                    if let Some(eidx) = edge_index(hop[0], hop[1]) {
                         link_demand[eidx] -= bw;
                         link_streams[eidx] = link_streams[eidx].saturating_sub(1);
                     }
                 }
             }
+            EventKind::FaultStart { fault } => match faults[fault] {
+                Fault::NodeOutage { node, .. } => {
+                    node_down[node.index()] += 1;
+                    // Every live copy with blocks on the dead node is lost.
+                    for (i, (r, p)) in residencies.iter().zip(&profiles).enumerate() {
+                        if r.loc == node && residency_active[i] && p.space_at(ev.time) > 0.0 {
+                            violations.push(Violation::ResidencyLostToOutage {
+                                video: r.video,
+                                loc: node,
+                                time: ev.time,
+                            });
+                        }
+                    }
+                }
+                Fault::LinkFailure { a, b, .. } => {
+                    if let Some(eidx) = edge_index(a, b) {
+                        link_failed[eidx] += 1;
+                    }
+                    // Streams caught mid-flight lose their feed.
+                    for (i, t) in transfers.iter().enumerate() {
+                        let crosses = t.route.windows(2).any(|hop| {
+                            (hop[0] == a && hop[1] == b) || (hop[0] == b && hop[1] == a)
+                        });
+                        if stream_active[i] && crosses {
+                            violations.push(Violation::StreamOnFailedLink {
+                                video: t.video,
+                                a,
+                                b,
+                                time: ev.time,
+                            });
+                        }
+                    }
+                }
+                Fault::LinkDegraded { a, b, factor, .. } => {
+                    if let Some(eidx) = edge_index(a, b) {
+                        link_factors[eidx].push(factor);
+                        if options.check_bandwidth {
+                            if let Some(cap) = topo.edges()[eidx].bandwidth {
+                                let cap = cap * link_factors[eidx].iter().product::<f64>();
+                                note_overload(
+                                    &mut worst_link[eidx],
+                                    link_demand[eidx],
+                                    cap,
+                                    ev.time,
+                                );
+                            }
+                        }
+                    }
+                }
+            },
+            EventKind::FaultEnd { fault } => match faults[fault] {
+                Fault::NodeOutage { node, .. } => {
+                    let ni = node.index();
+                    node_down[ni] = node_down[ni].saturating_sub(1);
+                }
+                Fault::LinkFailure { a, b, .. } => {
+                    if let Some(eidx) = edge_index(a, b) {
+                        link_failed[eidx] = link_failed[eidx].saturating_sub(1);
+                    }
+                }
+                Fault::LinkDegraded { a, b, factor, .. } => {
+                    if let Some(eidx) = edge_index(a, b) {
+                        if let Some(pos) = link_factors[eidx].iter().position(|&f| f == factor) {
+                            link_factors[eidx].remove(pos);
+                        }
+                    }
+                }
+            },
             EventKind::CacheFillStart { residency }
             | EventKind::CacheFillComplete { residency }
             | EventKind::CacheDrainStart { residency }
             | EventKind::CacheDrainEnd { residency } => {
-                let node = residencies[residency].loc;
+                let r = residencies[residency];
+                let node = r.loc;
                 let ni = node.index();
+                match ev.kind {
+                    EventKind::CacheFillStart { .. } => {
+                        residency_active[residency] = true;
+                        // Filling a dead node: the copy never materialises.
+                        if node_down[ni] > 0 {
+                            violations.push(Violation::ResidencyLostToOutage {
+                                video: r.video,
+                                loc: node,
+                                time: ev.time,
+                            });
+                        }
+                    }
+                    EventKind::CacheDrainEnd { .. } => residency_active[residency] = false,
+                    _ => {}
+                }
                 // Close the integral segment since this node's last event.
                 let last = node_last_event[ni];
                 if last.is_finite() && ev.time > last {
@@ -222,9 +407,8 @@ pub fn simulate(
         }
     }
     for (eidx, w) in worst_link.iter().enumerate() {
-        if let Some((time, excess)) = *w {
+        if let Some((time, excess, capacity)) = *w {
             let e = &topo.edges()[eidx];
-            let capacity = e.bandwidth.expect("overload only recorded on capped links");
             violations.push(Violation::LinkOverloaded {
                 a: e.a,
                 b: e.b,
@@ -237,9 +421,11 @@ pub fn simulate(
 
     // --- Metrics ------------------------------------------------------
     // Pricing a schedule whose routes use non-existent links is undefined
-    // (the cost model panics by contract); with broken routes already
-    // reported, the costs stay at zero and the cross-check is skipped.
-    let routes_ok = !violations.iter().any(|v| matches!(v, Violation::BrokenRoute { .. }));
+    // (the cost model panics by contract), and non-finite times poison
+    // every integral; with those already reported, the costs stay at zero
+    // and the cross-check is skipped.
+    let routes_ok =
+        times_ok && !violations.iter().any(|v| matches!(v, Violation::BrokenRoute { .. }));
     let (network_cost, storage_cost) =
         if routes_ok { model.schedule_cost_split(topo, catalog, schedule) } else { (0.0, 0.0) };
     let mut metrics = Metrics {
@@ -305,7 +491,7 @@ pub fn simulate(
         }
     }
 
-    SimReport { metrics, violations }
+    Ok(SimReport { metrics, violations })
 }
 
 #[cfg(test)]
@@ -421,9 +607,186 @@ mod tests {
     }
 
     #[test]
+    fn empty_fault_plan_matches_plain_simulate() {
+        let (topo, wl) = world(10_000.0, 4);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
+        let s = ivsp_solve(&ctx, &wl.requests);
+        let plain = simulate(&topo, &wl.catalog, &model, &s, &SimOptions::strict(&wl.requests));
+        let faulted = simulate_with_faults(
+            &topo,
+            &wl.catalog,
+            &model,
+            &s,
+            &FaultPlan::empty(),
+            &[],
+            &SimOptions::strict(&wl.requests),
+        )
+        .expect("empty plan is always valid");
+        assert_eq!(format!("{plain:?}"), format!("{faulted:?}"));
+    }
+
+    #[test]
+    fn mid_horizon_outage_breaks_live_residencies() {
+        let (topo, wl) = world(10_000.0, 4);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
+        let s = ivsp_solve(&ctx, &wl.requests);
+        let clean = simulate(&topo, &wl.catalog, &model, &s, &SimOptions::lenient());
+        // Outage at the busiest storage, covering the whole horizon.
+        let (loser, _) = clean
+            .metrics
+            .peak_occupancy
+            .iter()
+            .enumerate()
+            .skip(1) // not the warehouse
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("fig4 has storages");
+        let plan = FaultPlan::new(vec![Fault::NodeOutage {
+            node: vod_topology::NodeId(loser as u32),
+            from: 0.0,
+            until: 1e9,
+        }]);
+        let report = simulate_with_faults(
+            &topo,
+            &wl.catalog,
+            &model,
+            &s,
+            &plan,
+            &[],
+            &SimOptions::lenient(),
+        )
+        .expect("plan references a real storage");
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::ResidencyLostToOutage { loc, .. }
+                    if loc.index() == loser)),
+            "a horizon-long outage at an occupied storage must break copies: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn link_failure_catches_streams_crossing_it() {
+        let (topo, wl) = world(5.0, 3);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
+        let s = baselines::network_only(&ctx, &wl.requests);
+        // Fail the first hop of some actual delivery, for the whole horizon.
+        let t = s.transfers().next().expect("190 requests produce transfers");
+        let (a, b) = (t.route[0], t.route[1]);
+        let plan = FaultPlan::new(vec![Fault::LinkFailure { a, b, from: 0.0, until: 1e9 }]);
+        let report = simulate_with_faults(
+            &topo,
+            &wl.catalog,
+            &model,
+            &s,
+            &plan,
+            &[],
+            &SimOptions::lenient(),
+        )
+        .expect("plan references a real link");
+        assert!(
+            report.violations.iter().any(|v| matches!(v, Violation::StreamOnFailedLink { .. })),
+            "streams crossing a dead link must be flagged: {:?}",
+            report.violations
+        );
+        // Determinism: replaying the same plan yields the same report.
+        let again = simulate_with_faults(
+            &topo,
+            &wl.catalog,
+            &model,
+            &s,
+            &plan,
+            &[],
+            &SimOptions::lenient(),
+        )
+        .expect("plan unchanged");
+        assert_eq!(format!("{report:?}"), format!("{again:?}"));
+    }
+
+    #[test]
+    fn shed_requests_are_excused_from_coverage() {
+        let (topo, wl) = world(5.0, 7);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
+        let s = baselines::network_only(&ctx, &wl.requests);
+        // Drop one request's delivery from the schedule and declare it shed.
+        let victim = *wl.requests.iter().next().expect("non-empty batch");
+        let mut pruned = vod_cost_model::Schedule::new();
+        for vs in s.videos() {
+            let mut copy = vs.clone();
+            copy.transfers.retain(|t| {
+                !(t.user == Some(victim.user) && t.video == victim.video && t.start == victim.start)
+            });
+            pruned.upsert(copy);
+        }
+        let report = simulate_with_faults(
+            &topo,
+            &wl.catalog,
+            &model,
+            &pruned,
+            &FaultPlan::empty(),
+            &[victim],
+            &SimOptions::strict(&wl.requests),
+        )
+        .expect("empty plan is always valid");
+        assert!(
+            report.violations.iter().any(|v| matches!(v, Violation::RequestShed { user, .. }
+                if *user == victim.user)),
+            "the shed request must be reported: {:?}",
+            report.violations
+        );
+        assert!(
+            !report.violations.iter().any(|v| matches!(v, Violation::MissingDelivery { .. })),
+            "a shed request is not also missing: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn invalid_fault_plan_is_a_typed_error() {
+        let (topo, wl) = world(5.0, 8);
+        let model = CostModel::per_hop();
+        let plan = FaultPlan::new(vec![Fault::NodeOutage {
+            node: vod_topology::NodeId(999),
+            from: 0.0,
+            until: 10.0,
+        }]);
+        let err = simulate_with_faults(
+            &topo,
+            &wl.catalog,
+            &model,
+            &vod_cost_model::Schedule::new(),
+            &plan,
+            &[],
+            &SimOptions::lenient(),
+        )
+        .expect_err("unknown node must be rejected");
+        assert!(matches!(err, vod_faults::FaultError::UnknownNode(_)));
+    }
+
+    #[test]
+    fn non_finite_times_skip_replay_with_a_violation() {
+        let (topo, wl) = world(5.0, 9);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
+        let mut s = baselines::network_only(&ctx, &wl.requests);
+        let mut vs = s.videos().next().expect("scheduled videos").clone();
+        vs.transfers[0].start = f64::NAN;
+        s.upsert(vs);
+        let report = simulate(&topo, &wl.catalog, &model, &s, &SimOptions::lenient());
+        assert!(report.violations.iter().any(|v| matches!(v, Violation::NonFiniteTime { .. })));
+        assert_eq!(report.metrics.events_processed, 0, "replay must be skipped");
+    }
+
+    #[test]
     fn bandwidth_violations_reported_when_links_are_tight() {
         let (mut topo, wl) = world(5.0, 6);
-        topo.set_uniform_bandwidth(Some(vod_topology::units::mbps(5.0))).unwrap();
+        topo.set_uniform_bandwidth(Some(vod_topology::units::mbps(5.0)))
+            .expect("fig4 accepts a uniform positive link cap");
         let model = CostModel::per_hop();
         let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
         let s = baselines::network_only(&ctx, &wl.requests);

@@ -40,6 +40,17 @@ pub enum EventKind {
         /// Index into the flattened residency list.
         residency: usize,
     },
+    /// An injected fault's window opens (node outage, link failure, or
+    /// link degradation takes effect).
+    FaultStart {
+        /// Index into the fault plan's fault list.
+        fault: usize,
+    },
+    /// An injected fault's window closes; the resource recovers.
+    FaultEnd {
+        /// Index into the fault plan's fault list.
+        fault: usize,
+    },
 }
 
 /// A scheduled event.
@@ -62,12 +73,17 @@ impl Event {
     /// NOT assumed — order is purely for determinism), then video, node.
     fn key(&self) -> (u8, u32, u32, usize) {
         let (d, idx) = match self.kind {
-            EventKind::StreamStart { transfer } => (0, transfer),
-            EventKind::CacheFillStart { residency } => (1, residency),
-            EventKind::CacheFillComplete { residency } => (2, residency),
-            EventKind::CacheDrainStart { residency } => (3, residency),
-            EventKind::StreamEnd { transfer } => (4, transfer),
-            EventKind::CacheDrainEnd { residency } => (5, residency),
+            // Faults open first and close last at equal times, so a stream
+            // starting the instant a failure begins is counted as running
+            // on a dead link, and one starting at recovery is not.
+            EventKind::FaultStart { fault } => (0, fault),
+            EventKind::StreamStart { transfer } => (1, transfer),
+            EventKind::CacheFillStart { residency } => (2, residency),
+            EventKind::CacheFillComplete { residency } => (3, residency),
+            EventKind::CacheDrainStart { residency } => (4, residency),
+            EventKind::StreamEnd { transfer } => (5, transfer),
+            EventKind::CacheDrainEnd { residency } => (6, residency),
+            EventKind::FaultEnd { fault } => (7, fault),
         };
         (d, self.video.0, self.node.0, idx)
     }
@@ -96,12 +112,9 @@ impl PartialOrd for HeapItem {
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        other
-            .0
-            .time
-            .partial_cmp(&self.0.time)
-            .expect("event times are finite")
-            .then_with(|| other.0.key().cmp(&self.0.key()))
+        // `total_cmp` keeps the ordering total even for times a buggy
+        // caller sneaks past the push-time assertion.
+        other.0.time.total_cmp(&self.0.time).then_with(|| other.0.key().cmp(&self.0.key()))
     }
 }
 
@@ -166,6 +179,18 @@ mod tests {
         // Starts sort before ends at the same instant.
         assert_eq!(a[0], EventKind::StreamStart { transfer: 3 });
         assert_eq!(a[2], EventKind::StreamEnd { transfer: 7 });
+    }
+
+    #[test]
+    fn faults_bracket_everything_else_at_equal_times() {
+        let mut q = EventQueue::new();
+        q.push(ev(2.0, EventKind::StreamStart { transfer: 0 }));
+        q.push(ev(2.0, EventKind::FaultEnd { fault: 0 }));
+        q.push(ev(2.0, EventKind::FaultStart { fault: 1 }));
+        q.push(ev(2.0, EventKind::CacheDrainEnd { residency: 0 }));
+        let kinds: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.kind).collect();
+        assert_eq!(kinds.first(), Some(&EventKind::FaultStart { fault: 1 }));
+        assert_eq!(kinds.last(), Some(&EventKind::FaultEnd { fault: 0 }));
     }
 
     #[test]

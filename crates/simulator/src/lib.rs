@@ -23,6 +23,12 @@
 //! [`Violation`]s; a schedule out of `sorp_solve` must produce none (this
 //! is asserted across the integration and property test suites).
 //!
+//! [`simulate_with_faults`] additionally merges a deterministic
+//! [`FaultPlan`] (timed node outages, link failures, bandwidth
+//! degradations) into the event queue and reports exactly which streams
+//! and cached copies each fault breaks — the ground truth the repair
+//! scheduler in `vod-core` is measured against.
+//!
 //! # Example
 //!
 //! ```
@@ -54,6 +60,9 @@ pub mod render;
 mod report;
 mod validate;
 
-pub use engine::{simulate, SimOptions};
+pub use engine::{simulate, simulate_with_faults, SimOptions};
 pub use event::{Event, EventKind, EventQueue};
 pub use report::{Metrics, SimReport, Violation};
+// Re-exported so replay callers can build fault plans without a separate
+// dependency on the fault-model crate.
+pub use vod_faults::{Fault, FaultConfig, FaultError, FaultImpact, FaultPlan};

@@ -108,7 +108,7 @@ pub fn video_schedule_summary(
             ));
         }
     }
-    lines.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+    lines.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut out = format!("schedule for video {video}:\n");
     for (_, l) in lines {
         out.push_str(&l);

@@ -92,6 +92,57 @@ pub enum Violation {
         /// Ψ recomputed from measured resources.
         measured: Dollars,
     },
+    /// A delivery terminates at a user who never reserved that video at
+    /// that time: the schedule over-delivers.
+    UnrequestedDelivery {
+        /// The surprised user.
+        user: UserId,
+        /// The delivered video.
+        video: VideoId,
+        /// The delivery's start time.
+        start: Secs,
+    },
+    /// A stream crosses a link while an injected failure has it down —
+    /// either the stream started during the failure window or the failure
+    /// began mid-stream.
+    StreamOnFailedLink {
+        /// The video being streamed.
+        video: VideoId,
+        /// Endpoints of the failed link.
+        a: NodeId,
+        /// Endpoints of the failed link.
+        b: NodeId,
+        /// When the stream and the failure first overlapped.
+        time: Secs,
+    },
+    /// A cached copy occupies a storage while an injected outage has the
+    /// node down (the copy is lost, or the fill writes into a dead node).
+    ResidencyLostToOutage {
+        /// The cached video.
+        video: VideoId,
+        /// The failed storage.
+        loc: NodeId,
+        /// When the residency and the outage first overlapped.
+        time: Secs,
+    },
+    /// A request was deliberately dropped by degraded-mode repair instead
+    /// of being served (graceful degradation, reported not panicked).
+    RequestShed {
+        /// The unserved user.
+        user: UserId,
+        /// The requested video.
+        video: VideoId,
+        /// The reserved start time.
+        start: Secs,
+    },
+    /// A schedule time is NaN or infinite; the replay cannot order events
+    /// around it and skips the dynamic checks.
+    NonFiniteTime {
+        /// The video whose schedule carries the bad time.
+        video: VideoId,
+        /// The offending value.
+        time: Secs,
+    },
 }
 
 /// Aggregate metrics measured during replay.

@@ -43,7 +43,12 @@ fn check_coverage(
         }
         match wanted.get_mut(&(user.0, t.video.0, t.start.to_bits())) {
             Some(n) if *n > 0 => *n -= 1,
-            _ => out.push(Violation::DuplicateDelivery { user, video: t.video }),
+            // Count exhausted: the request existed but was already served.
+            Some(_) => out.push(Violation::DuplicateDelivery { user, video: t.video }),
+            // Key absent: nobody reserved this (user, video, start) at all.
+            None => {
+                out.push(Violation::UnrequestedDelivery { user, video: t.video, start: t.start })
+            }
         }
     }
     for ((user, video, start), n) in wanted {
@@ -55,6 +60,28 @@ fn check_coverage(
             });
         }
     }
+}
+
+/// Every schedule time must be finite for the replay to order events.
+/// Returns `false` (after reporting each offender) when any is not, in
+/// which case the caller must skip the dynamic replay.
+pub fn check_finite_times(schedule: &Schedule, out: &mut Vec<Violation>) -> bool {
+    let mut ok = true;
+    for t in schedule.transfers() {
+        if !t.start.is_finite() {
+            out.push(Violation::NonFiniteTime { video: t.video, time: t.start });
+            ok = false;
+        }
+    }
+    for r in schedule.residencies() {
+        for time in [r.start, r.last_service] {
+            if !time.is_finite() {
+                out.push(Violation::NonFiniteTime { video: r.video, time });
+                ok = false;
+            }
+        }
+    }
+    ok
 }
 
 /// Every consecutive route pair must be an actual link.
@@ -184,6 +211,57 @@ mod tests {
         s.upsert(vs);
         let v = run(&s, Some(&batch(vec![req(0, 100.0)])));
         assert!(v.iter().any(|x| matches!(x, Violation::DuplicateDelivery { .. })));
+    }
+
+    #[test]
+    fn unrequested_delivery_is_distinct_from_duplicate() {
+        let t = topo();
+        // Nobody asked for video 0 at t=100 — the batch wants t=500 only.
+        let mut vs = VideoSchedule::new(VideoId(0));
+        vs.transfers.push(Transfer {
+            video: VideoId(0),
+            route: vec![t.warehouse(), NodeId(1)],
+            start: 100.0,
+            user: Some(UserId(0)),
+        });
+        let mut s = Schedule::new();
+        s.upsert(vs);
+        let v = run(&s, Some(&batch(vec![req(0, 500.0)])));
+        assert!(
+            v.iter().any(|x| matches!(
+                x,
+                Violation::UnrequestedDelivery { user: UserId(0), video: VideoId(0), start }
+                    if *start == 100.0
+            )),
+            "over-delivery must be reported as unrequested, got {v:?}"
+        );
+        assert!(
+            !v.iter().any(|x| matches!(x, Violation::DuplicateDelivery { .. })),
+            "an absent key is not a duplicate: {v:?}"
+        );
+        // The unanswered reservation is still missing.
+        assert!(v.iter().any(|x| matches!(x, Violation::MissingDelivery { .. })));
+    }
+
+    #[test]
+    fn non_finite_times_are_reported_and_fail_the_check() {
+        let t = topo();
+        let mut vs = VideoSchedule::new(VideoId(0));
+        vs.transfers.push(Transfer {
+            video: VideoId(0),
+            route: vec![t.warehouse(), NodeId(1)],
+            start: f64::NAN,
+            user: Some(UserId(0)),
+        });
+        let mut s = Schedule::new();
+        s.upsert(vs);
+        let mut out = Vec::new();
+        assert!(!check_finite_times(&s, &mut out));
+        assert!(matches!(out[0], Violation::NonFiniteTime { video: VideoId(0), .. }));
+
+        let mut clean = Vec::new();
+        assert!(check_finite_times(&Schedule::new(), &mut clean));
+        assert!(clean.is_empty());
     }
 
     #[test]

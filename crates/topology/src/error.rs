@@ -33,6 +33,14 @@ pub enum TopologyError {
     UsersAtWarehouse,
     /// The topology has no intermediate storage at all.
     NoStorages,
+    /// No route exists between the two nodes (raised by degraded-mode
+    /// route queries; full topologies are connected by construction).
+    Unreachable {
+        /// Route source.
+        from: NodeId,
+        /// Route destination.
+        to: NodeId,
+    },
 }
 
 impl fmt::Display for TopologyError {
@@ -55,6 +63,9 @@ impl fmt::Display for TopologyError {
                 write!(f, "users must be attached to intermediate storages, not the warehouse")
             }
             Self::NoStorages => write!(f, "topology has no intermediate storage"),
+            Self::Unreachable { from, to } => {
+                write!(f, "no route from {from} to {to}")
+            }
         }
     }
 }

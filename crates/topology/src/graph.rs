@@ -221,6 +221,59 @@ impl Topology {
         }
         Ok(())
     }
+
+    /// A copy of this topology with the given links removed (pairs match
+    /// in either orientation) — the post-fault graph after permanent link
+    /// failures. Errs with [`TopologyError::Disconnected`] when a node
+    /// would be cut off from the warehouse, and with
+    /// [`TopologyError::UnknownNode`] when a pair references a node
+    /// outside the graph. Removing a pair with no edge between is a
+    /// no-op.
+    pub fn without_links(&self, links: &[(NodeId, NodeId)]) -> Result<Topology, TopologyError> {
+        for &(a, b) in links {
+            for n in [a, b] {
+                if n.index() >= self.nodes.len() {
+                    return Err(TopologyError::UnknownNode(n));
+                }
+            }
+        }
+        let cut = |a: NodeId, b: NodeId| {
+            links.iter().any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
+        };
+        let edges: Vec<Edge> = self.edges.iter().filter(|e| !cut(e.a, e.b)).cloned().collect();
+
+        let mut adj = vec![Vec::new(); self.nodes.len()];
+        for (i, e) in edges.iter().enumerate() {
+            adj[e.a.index()].push((e.b, i));
+            adj[e.b.index()].push((e.a, i));
+        }
+
+        // Connectivity check, as in TopologyBuilder::build.
+        let mut seen = vec![false; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[self.warehouse.index()] = true;
+        queue.push_back(self.warehouse);
+        while let Some(n) = queue.pop_front() {
+            for &(m, _) in &adj[n.index()] {
+                if !seen[m.index()] {
+                    seen[m.index()] = true;
+                    queue.push_back(m);
+                }
+            }
+        }
+        if let Some(i) = seen.iter().position(|&s| !s) {
+            return Err(TopologyError::Disconnected(NodeId(i as u32)));
+        }
+
+        Ok(Topology {
+            nodes: self.nodes.clone(),
+            edges,
+            adj,
+            warehouse: self.warehouse,
+            users: self.users.clone(),
+            neighborhood: self.neighborhood.clone(),
+        })
+    }
 }
 
 fn validate_rate(what: &'static str, value: f64) -> Result<(), TopologyError> {
@@ -557,6 +610,40 @@ mod tests {
         assert!(t.scale_nrates(-2.0).is_err());
         assert!(t.set_uniform_bandwidth(Some(-5.0)).is_err());
         assert!(t.set_uniform_bandwidth(None).is_ok());
+    }
+
+    #[test]
+    fn without_links_removes_edges_and_preserves_structure() {
+        let mut b = TopologyBuilder::new();
+        let vw = b.add_warehouse("VW");
+        let is1 = b.add_storage("IS1", 0.0, units::gb(5.0));
+        let is2 = b.add_storage("IS2", 0.0, units::gb(5.0));
+        b.connect(vw, is1, 1.0).unwrap();
+        b.connect(vw, is2, 1.0).unwrap();
+        b.connect(is1, is2, 1.0).unwrap();
+        b.add_users(is1, 2);
+        let t = b.build().unwrap();
+
+        let cut = t.without_links(&[(is2, is1)]).unwrap(); // reversed orientation
+        assert_eq!(cut.edge_count(), 2);
+        assert!(cut.edge_between(is1, is2).is_none());
+        assert!(cut.edge_between(vw, is1).is_some());
+        assert_eq!(cut.user_count(), 2);
+        assert_eq!(cut.users_at(is1).len(), 2);
+        // Adjacency was rebuilt consistently.
+        assert_eq!(cut.neighbors(is1).len(), 1);
+
+        // Cutting a nonexistent pair is a no-op; unknown nodes are typed
+        // errors; disconnecting cuts are rejected.
+        assert_eq!(t.without_links(&[]).unwrap().edge_count(), 3);
+        assert_eq!(
+            t.without_links(&[(vw, NodeId(9))]).unwrap_err(),
+            TopologyError::UnknownNode(NodeId(9))
+        );
+        assert_eq!(
+            t.without_links(&[(vw, is1), (is1, is2)]).unwrap_err(),
+            TopologyError::Disconnected(is1)
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! scheduling cycle, we precompute all-pairs cheapest routes with one
 //! Dijkstra per source.
 
-use crate::{NodeId, Topology};
+use crate::{NodeId, Topology, TopologyError};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -69,13 +69,10 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse on cost for a min-heap; break ties on node id so the
-        // ordering is total (costs are finite, never NaN: validated rates).
-        other
-            .cost
-            .partial_cmp(&self.cost)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.node.cmp(&self.node))
+        // Reverse on cost for a min-heap; break ties on node id. total_cmp
+        // keeps the ordering total even for NaN (which validated rates
+        // never produce, but the heap must not rely on that).
+        other.cost.total_cmp(&self.cost).then_with(|| other.node.cmp(&self.node))
     }
 }
 
@@ -85,6 +82,18 @@ impl RouteTable {
     /// Ties between equal-rate routes break toward fewer hops and then
     /// lower node ids so the result is deterministic.
     pub fn build(topo: &Topology) -> Self {
+        Self::build_avoiding(topo, &[])
+    }
+
+    /// [`RouteTable::build`] with a set of links excluded, as if they had
+    /// been cut (degraded-mode routing around failed links). Pairs match
+    /// in either orientation. Destinations the cut graph cannot reach get
+    /// an infinite rate and no path; query with
+    /// [`try_path`](Self::try_path) or [`reachable`](Self::reachable).
+    pub fn build_avoiding(topo: &Topology, avoid: &[(NodeId, NodeId)]) -> Self {
+        let avoided = |a: NodeId, b: NodeId| {
+            avoid.iter().any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
+        };
         let n = topo.node_count();
         let mut rate = vec![f64::INFINITY; n * n];
         let mut next: Vec<Option<NodeId>> = vec![None; n * n];
@@ -108,6 +117,9 @@ impl RouteTable {
                     continue; // stale entry
                 }
                 for &(nb, eidx) in topo.neighbors(node) {
+                    if avoided(node, nb) {
+                        continue;
+                    }
                     let e = &topo.edges()[eidx];
                     let cand = cost + e.nrate;
                     let cand_hops = hops[node.index()] + 1;
@@ -144,17 +156,32 @@ impl RouteTable {
     /// # Panics
     ///
     /// Panics if `b` is unreachable from `a`; [`Topology`] construction
-    /// guarantees connectivity, so this only fires on mismatched tables.
+    /// guarantees connectivity, so this only fires on mismatched tables
+    /// or tables built with [`build_avoiding`](Self::build_avoiding).
     pub fn path(&self, a: NodeId, b: NodeId) -> Route {
+        self.try_path(a, b).expect("destination unreachable: route table does not match topology")
+    }
+
+    /// Reconstruct the cheapest route from `a` to `b`, or
+    /// [`TopologyError::Unreachable`] when the table has no route (a
+    /// degraded table built with [`build_avoiding`](Self::build_avoiding)
+    /// can legitimately lack one).
+    pub fn try_path(&self, a: NodeId, b: NodeId) -> Result<Route, TopologyError> {
         let mut nodes = vec![a];
         let mut cur = a;
         while cur != b {
             let hop = self.next[cur.index() * self.n + b.index()]
-                .expect("destination unreachable: route table does not match topology");
+                .ok_or(TopologyError::Unreachable { from: a, to: b })?;
             nodes.push(hop);
             cur = hop;
         }
-        Route { nodes, rate: self.rate(a, b) }
+        Ok(Route { nodes, rate: self.rate(a, b) })
+    }
+
+    /// Whether the table has a route from `a` to `b`.
+    #[inline]
+    pub fn reachable(&self, a: NodeId, b: NodeId) -> bool {
+        self.rate(a, b).is_finite()
     }
 
     /// Number of nodes the table was built for.
@@ -307,6 +334,47 @@ mod tests {
                     rt.rate(a, bnode),
                     best
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn build_avoiding_routes_around_cut_links() {
+        let (t, vw, is1, is2) = diamond();
+        // Cutting VW—IS1 forces the expensive direct route to IS2 and
+        // leaves IS1 reachable only via IS2.
+        let rt = RouteTable::build_avoiding(&t, &[(is1, vw)]); // reversed orientation
+        assert_eq!(rt.rate(vw, is2), 5.0);
+        assert_eq!(rt.path(vw, is2).nodes, vec![vw, is2]);
+        assert_eq!(rt.rate(vw, is1), 6.0);
+        assert_eq!(rt.path(vw, is1).nodes, vec![vw, is2, is1]);
+        assert!(rt.reachable(vw, is1));
+    }
+
+    #[test]
+    fn build_avoiding_reports_unreachable_as_error() {
+        let (t, vw, is1, is2) = diamond();
+        // Cut both of IS1's links: it is now unreachable.
+        let rt = RouteTable::build_avoiding(&t, &[(vw, is1), (is1, is2)]);
+        assert!(!rt.reachable(vw, is1));
+        assert!(rt.rate(vw, is1).is_infinite());
+        assert_eq!(
+            rt.try_path(vw, is1).unwrap_err(),
+            TopologyError::Unreachable { from: vw, to: is1 }
+        );
+        // The untouched pair still routes.
+        assert_eq!(rt.try_path(vw, is2).unwrap().nodes, vec![vw, is2]);
+    }
+
+    #[test]
+    fn build_avoiding_nothing_matches_build() {
+        let (t, ..) = diamond();
+        let a = RouteTable::build(&t);
+        let b = RouteTable::build_avoiding(&t, &[]);
+        for x in t.nodes() {
+            for y in t.nodes() {
+                assert_eq!(a.rate(x, y), b.rate(x, y));
+                assert_eq!(a.path(x, y).nodes, b.path(x, y).nodes);
             }
         }
     }

@@ -16,6 +16,15 @@ cargo test -q --release --offline --workspace
 echo "==> bench smoke run (capacity_timeline --test)"
 cargo bench --offline -p vod-bench --bench capacity_timeline -- --test
 
+echo "==> bench smoke run (repair_latency --test)"
+cargo bench --offline -p vod-bench --bench repair_latency -- --test
+
+echo "==> fault-injection suite"
+cargo test -q --offline -p vod-faults
+cargo test -q --offline -p vod-core repair
+cargo test -q --offline -p vod-core --test repair_props
+cargo test -q --offline --test fault_injection_e2e --test failure_injection
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

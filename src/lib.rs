@@ -16,7 +16,11 @@
 //! * [`core`] — the contribution: the two-phase scheduler (individual
 //!   video scheduling + storage overflow resolution with heat-based victim
 //!   selection, paper §3–4) and baselines.
-//! * [`simulator`] — discrete-event execution/validation of schedules.
+//! * [`faults`] — deterministic fault injection (node outages, link
+//!   failures, bandwidth degradations) for degraded-mode studies; the
+//!   matching incremental repair lives in [`core`] (`repair_schedule`).
+//! * [`simulator`] — discrete-event execution/validation of schedules,
+//!   including fault-aware replay (`simulate_with_faults`).
 //! * [`experiments`] — the harness regenerating every figure and table of
 //!   the paper's evaluation (§5).
 //!
@@ -28,6 +32,7 @@
 pub use vod_core as core;
 pub use vod_cost_model as cost_model;
 pub use vod_experiments as experiments;
+pub use vod_faults as faults;
 pub use vod_simulator as simulator;
 pub use vod_topology as topology;
 pub use vod_workload as workload;

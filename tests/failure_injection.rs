@@ -239,8 +239,33 @@ fn every_violation_variant_is_constructible_and_debuggable() {
             capacity: 1.0,
         },
         Violation::CostMismatch { model: 1.0, measured: 2.0 },
+        Violation::UnrequestedDelivery { user: UserId(0), video: VideoId(0), start: 0.0 },
+        Violation::StreamOnFailedLink { video: VideoId(0), a: NodeId(0), b: NodeId(1), time: 0.0 },
+        Violation::ResidencyLostToOutage { video: VideoId(0), loc: NodeId(1), time: 0.0 },
+        Violation::RequestShed { user: UserId(0), video: VideoId(0), start: 0.0 },
+        Violation::NonFiniteTime { video: VideoId(0), time: f64::NAN },
     ];
     for v in samples {
         assert!(!format!("{v:?}").is_empty());
     }
+}
+
+#[test]
+fn over_delivery_is_distinct_from_duplicate() {
+    let w = valid_world();
+    let mut s = w.schedule.clone();
+    let vs0 = s.videos().next().unwrap().clone();
+    let mut tampered = vs0.clone();
+    // Shift a delivery to a start nobody reserved: the original slot goes
+    // missing and the shifted one is *unrequested*, not duplicate.
+    let t = tampered.transfers.iter_mut().find(|t| t.user.is_some()).expect("delivery exists");
+    t.start += 0.125;
+    s.upsert(tampered);
+    let v = violations(&w, &s);
+    assert!(v.iter().any(|x| matches!(x, Violation::UnrequestedDelivery { .. })), "got {v:?}");
+    assert!(v.iter().any(|x| matches!(x, Violation::MissingDelivery { .. })), "got {v:?}");
+    assert!(
+        !v.iter().any(|x| matches!(x, Violation::DuplicateDelivery { .. })),
+        "over-delivery must not masquerade as duplication; got {v:?}"
+    );
 }
