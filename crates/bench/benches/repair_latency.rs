@@ -33,8 +33,27 @@ fn world() -> (Topology, Workload) {
 }
 
 fn truncated(wl: &Workload, n: usize) -> RequestBatch {
-    let all: Vec<Request> = wl.requests.groups().flat_map(|(_, g)| g.iter().copied()).collect();
-    RequestBatch::new(all.into_iter().take(n).collect())
+    // Round-robin across the per-video groups so a small prefix still
+    // spans the catalog (first-n-arrivals, not all-of-the-hottest-video:
+    // a one-video prefix would make the "incremental" repair redo the
+    // entire batch and measure nothing but overhead).
+    let groups: Vec<Vec<Request>> = wl.requests.groups().map(|(_, g)| g.to_vec()).collect();
+    let mut all = Vec::new();
+    let mut rank = 0;
+    while all.len() < n {
+        let before = all.len();
+        for g in &groups {
+            if let Some(r) = g.get(rank) {
+                all.push(*r);
+            }
+        }
+        if all.len() == before {
+            break;
+        }
+        rank += 1;
+    }
+    all.truncate(n);
+    RequestBatch::new(all)
 }
 
 fn committed(ctx: &SchedCtx<'_>, batch: &RequestBatch) -> PricedSchedule {

@@ -57,12 +57,176 @@ pub struct LedgerCursor {
     overlay: Vec<(Secs, Bytes, f64)>,
     /// Timeline breakpoints inside the candidate's support.
     support: Vec<(Secs, Bytes, f64)>,
+    /// When tracing, the trial's recorded ledger dependency.
+    trace: Option<TrialTrace>,
+}
+
+/// One admission test executed during a traced trial: the candidate
+/// profile that was tested at a node, the boolean the constraints
+/// answered, and — when the ledger was actually consulted — the capacity
+/// sub-verdict. The answer sequence is the trial's *only* dependency on
+/// anything outside its own inputs — the rejective greedy is otherwise a
+/// deterministic function of its requests — so a trial replays
+/// bit-identically under mutated bans and a mutated ledger iff every
+/// recorded check re-evaluates to the same overall verdict
+/// ([`crate::Constraints::check_replays`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdmissionCheck {
+    /// Storage node the candidate was tested at.
+    pub loc: NodeId,
+    /// The candidate occupancy profile as tested (including any in-trial
+    /// residency growth accumulated by earlier requests).
+    pub candidate: SpaceProfile,
+    /// The overall admission answer the greedy observed at trial time.
+    pub verdict: bool,
+    /// The capacity sub-verdict, `Some` iff the ledger was consulted at a
+    /// finite-capacity node. `None` means the answer was
+    /// ledger-independent: either a forbidden-window rejection (`verdict`
+    /// is `false`) or an infinite-capacity storage (`verdict` is `true`).
+    pub fits: Option<bool>,
+}
+
+/// The external dependency of one traced trial, in two resolutions: a
+/// coarse per-node footprint of the *ledger-consulting* checks for cheap
+/// disjointness pre-filtering, and the exact admission-check sequence for
+/// verdict replay under possibly-changed bans.
+///
+/// Invariant relied on by SORP's cache validation: every check with
+/// `fits == None` is either rejected by the forbidden windows the trace
+/// is currently bound to, or sits at an infinite-capacity storage — in
+/// both cases ledger-independent — and every other check's support is
+/// covered by `footprint`. [`LedgerCursor::record_admission`] establishes
+/// it at trial time; [`crate::Constraints::rebind_trace`] restores it
+/// when a cached trace is revalidated under different forbidden windows.
+#[derive(Clone, Debug, Default)]
+pub struct TrialTrace {
+    /// Per-node union of every ledger-consulting check's candidate
+    /// support (checks with `fits == None` are ledger-independent and
+    /// contribute nothing).
+    pub footprint: Vec<(NodeId, Secs, Secs)>,
+    /// Every admission test, in execution order.
+    pub checks: Vec<AdmissionCheck>,
+}
+
+impl TrialTrace {
+    /// Union `[start, end]` at `loc` into the ledger footprint. Intervals
+    /// at the same node are unioned — the greedy only ever grows one
+    /// candidate residency per node, so the union is tight.
+    pub fn record_footprint(&mut self, loc: NodeId, start: Secs, end: Secs) {
+        match self.footprint.iter_mut().find(|(l, _, _)| *l == loc) {
+            Some((_, s, e)) => {
+                *s = s.min(start);
+                *e = e.max(end);
+            }
+            None => self.footprint.push((loc, start, end)),
+        }
+    }
 }
 
 impl LedgerCursor {
     /// A cursor with empty scratch buffers.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A cursor that additionally records every admission test routed
+    /// through it — the coarse (node, support interval) footprint of the
+    /// ledger-consulting checks plus the exact [`AdmissionCheck`]
+    /// sequence. A trial evaluated with a tracing cursor depends on its
+    /// constraints *only* through the recorded verdicts: any change to
+    /// the bans or the ledger that leaves every verdict unchanged leaves
+    /// the trial's outcome bit-identical.
+    pub fn tracing() -> Self {
+        Self { trace: Some(TrialTrace::default()), ..Self::default() }
+    }
+
+    /// Record one admission test's dependency (no-op unless tracing).
+    /// Only ledger-consulting checks (`fits.is_some()`) contribute to the
+    /// footprint; intervals at the same node are unioned — the greedy
+    /// only ever grows one candidate residency per node, so the union is
+    /// tight.
+    pub fn record_admission(
+        &mut self,
+        loc: NodeId,
+        candidate: &SpaceProfile,
+        verdict: bool,
+        fits: Option<bool>,
+    ) {
+        if let Some(trace) = &mut self.trace {
+            if fits.is_some() {
+                trace.record_footprint(loc, candidate.start, candidate.end);
+            }
+            trace.checks.push(AdmissionCheck { loc, candidate: *candidate, verdict, fits });
+        }
+    }
+
+    /// Take the recorded trace, leaving the cursor tracing an empty one.
+    /// Empty (and always empty) for non-tracing cursors.
+    pub fn take_trace(&mut self) -> TrialTrace {
+        self.trace.take().unwrap_or_default()
+    }
+}
+
+/// The (node, time-window) footprint of a batch of ledger mutations —
+/// SORP's commit delta. One residency add or remove contributes its
+/// profile's support; spans at the same node are unioned. A cached trial
+/// whose admission-test footprint is disjoint from every subsequent
+/// commit delta would replay bit-identically, so it can be reused
+/// without re-running the greedy.
+#[derive(Clone, Debug, Default)]
+pub struct LedgerDelta {
+    /// Per touched node: the union interval of mutated profile supports.
+    spans: Vec<(NodeId, Secs, Secs)>,
+}
+
+impl LedgerDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forget everything (start tracking a new commit).
+    pub fn clear(&mut self) {
+        self.spans.clear();
+    }
+
+    /// Whether no mutation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Record one profile mutation at `loc` spanning `[start, end]`.
+    pub fn record(&mut self, loc: NodeId, start: Secs, end: Secs) {
+        match self.spans.iter_mut().find(|(l, _, _)| *l == loc) {
+            Some((_, s, e)) => {
+                *s = s.min(start);
+                *e = e.max(end);
+            }
+            None => self.spans.push((loc, start, end)),
+        }
+    }
+
+    /// The touched `(node, start, end)` spans, one per node.
+    pub fn spans(&self) -> &[(NodeId, Secs, Secs)] {
+        &self.spans
+    }
+
+    /// Union another delta's spans into this one (used to merge the
+    /// commit deltas accumulated since a cache entry was last validated).
+    pub fn merge(&mut self, other: &LedgerDelta) {
+        for &(l, s, e) in &other.spans {
+            self.record(l, s, e);
+        }
+    }
+
+    /// Whether any recorded span touches any interval of `footprint`
+    /// (same-node closed-interval overlap; touching endpoints count —
+    /// occupancy jumps exactly at a profile's support bounds can move an
+    /// admission test's peak).
+    pub fn intersects(&self, footprint: &[(NodeId, Secs, Secs)]) -> bool {
+        self.spans.iter().any(|&(dl, ds, de)| {
+            footprint.iter().any(|&(fl, fs, fe)| dl == fl && ds <= fe && fs <= de)
+        })
     }
 }
 
@@ -166,6 +330,46 @@ impl StorageLedger {
             *plateau_sum = 0.0;
             debug_assert!(timeline.is_empty());
         }
+    }
+
+    /// [`StorageLedger::add`] that also records the profile's support
+    /// into `delta` (skipped, like the add itself, for zero-space
+    /// profiles). SORP's commit uses this to build the commit delta that
+    /// scopes trial-cache invalidation.
+    pub fn add_tracked(
+        &mut self,
+        loc: NodeId,
+        video: VideoId,
+        profile: SpaceProfile,
+        delta: &mut LedgerDelta,
+    ) {
+        if profile.peak() > 0.0 {
+            delta.record(loc, profile.start, profile.end);
+        }
+        self.add(loc, video, profile);
+    }
+
+    /// [`StorageLedger::remove`] that also records the supports of the
+    /// profiles actually dropped into `delta` (a no-op removal records
+    /// nothing).
+    pub fn remove_tracked(&mut self, loc: NodeId, video: VideoId, delta: &mut LedgerDelta) {
+        for (v, p) in &self.entries[loc.index()] {
+            if *v == video {
+                delta.record(loc, p.start, p.end);
+            }
+        }
+        self.remove(loc, video);
+    }
+
+    /// Mutation version of the occupancy bookkeeping at `loc`: ticks on
+    /// every add or remove that actually touches the node, in either
+    /// [`LedgerMode`] (the timeline is maintained unconditionally). Equal
+    /// versions guarantee the node's aggregate occupancy — and the order
+    /// of its entries, which fixes the reference mode's float-summation
+    /// order — is bit-identical, which makes the version the dirty-node
+    /// signal behind incremental overflow detection.
+    pub fn node_version(&self, loc: NodeId) -> u64 {
+        self.timelines[loc.index()].version()
     }
 
     /// Whether any profile of `video` is recorded at any storage.
@@ -663,5 +867,137 @@ mod tests {
         let l = StorageLedger::from_schedule(&t, &catalog, &s);
         assert_eq!(l.profile_count(NodeId(1)), 1);
         assert_eq!(l.profile_count(NodeId(2)), 0);
+    }
+
+    #[test]
+    fn ledger_delta_records_unions_and_intersections() {
+        let mut d = LedgerDelta::new();
+        assert!(d.is_empty());
+        d.record(NodeId(1), 100.0, 200.0);
+        d.record(NodeId(1), 150.0, 400.0); // unions with the first
+        d.record(NodeId(2), 50.0, 60.0);
+        assert_eq!(d.spans().len(), 2);
+        assert_eq!(d.spans()[0], (NodeId(1), 100.0, 400.0));
+        // Same node, overlapping window: hit.
+        assert!(d.intersects(&[(NodeId(1), 350.0, 500.0)]));
+        // Touching endpoints count (closed-interval semantics).
+        assert!(d.intersects(&[(NodeId(1), 400.0, 500.0)]));
+        assert!(d.intersects(&[(NodeId(2), 0.0, 50.0)]));
+        // Disjoint window or different node: miss.
+        assert!(!d.intersects(&[(NodeId(1), 401.0, 500.0)]));
+        assert!(!d.intersects(&[(NodeId(3), 100.0, 400.0)]));
+        d.clear();
+        assert!(d.is_empty());
+        assert!(!d.intersects(&[(NodeId(1), 0.0, 1e9)]));
+    }
+
+    #[test]
+    fn tracked_mutations_record_their_footprint() {
+        let t = topo(5.0);
+        let mut l = StorageLedger::new(&t);
+        let mut d = LedgerDelta::new();
+        l.add_tracked(NodeId(1), VideoId(0), profile(0.0, 5000.0), &mut d);
+        assert_eq!(d.spans(), &[(NodeId(1), 0.0, 6000.0)]);
+        // Zero-space profile: neither recorded nor tracked.
+        d.clear();
+        l.add_tracked(NodeId(1), VideoId(1), profile(100.0, 100.0), &mut d);
+        assert!(d.is_empty());
+        // Removal records the dropped profile's support; a no-op removal
+        // records nothing.
+        l.remove_tracked(NodeId(1), VideoId(7), &mut d);
+        assert!(d.is_empty());
+        l.remove_tracked(NodeId(1), VideoId(0), &mut d);
+        assert_eq!(d.spans(), &[(NodeId(1), 0.0, 6000.0)]);
+        assert_eq!(l.profile_count(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn node_version_ticks_only_on_real_mutations() {
+        let t = topo(5.0);
+        let mut l = StorageLedger::new(&t);
+        let v0 = l.node_version(NodeId(1));
+        l.add(NodeId(1), VideoId(0), profile(0.0, 5000.0));
+        let v1 = l.node_version(NodeId(1));
+        assert!(v1 > v0);
+        // Other nodes untouched; queries don't tick.
+        assert_eq!(l.node_version(NodeId(2)), 0);
+        let _ = l.usage_at(NodeId(1), 100.0, None);
+        let _ = l.fits(&t, NodeId(1), &profile(1000.0, 2000.0), None);
+        assert_eq!(l.node_version(NodeId(1)), v1);
+        // Degenerate add and no-op removal don't tick.
+        l.add(NodeId(1), VideoId(1), profile(9.0, 9.0));
+        l.remove(NodeId(1), VideoId(42));
+        assert_eq!(l.node_version(NodeId(1)), v1);
+        l.remove(NodeId(1), VideoId(0));
+        assert!(l.node_version(NodeId(1)) > v1);
+    }
+
+    #[test]
+    fn tracing_cursor_records_admission_footprints_and_checks() {
+        let mut c = LedgerCursor::new();
+        c.record_admission(NodeId(1), &profile(0.0, 10.0), true, Some(true)); // not tracing
+        assert!(c.take_trace().footprint.is_empty());
+        let mut c = LedgerCursor::tracing();
+        c.record_admission(NodeId(1), &profile(100.0, 200.0), true, Some(true));
+        c.record_admission(NodeId(1), &profile(50.0, 150.0), false, Some(false));
+        c.record_admission(NodeId(2), &profile(0.0, 10.0), true, Some(true));
+        // Ledger-independent answers (bans, infinite capacity) are in the
+        // check sequence but contribute no footprint.
+        c.record_admission(NodeId(3), &profile(0.0, 10.0), false, None);
+        let trace = c.take_trace();
+        // Footprint ends extend past the residency window by the drain
+        // tail, so compare nodes and ordering plus the union property.
+        assert_eq!(trace.footprint.len(), 2);
+        assert_eq!(trace.footprint[0].0, NodeId(1));
+        assert_eq!(trace.footprint[0].1, profile(50.0, 150.0).start);
+        assert_eq!(trace.footprint[0].2, profile(100.0, 200.0).end);
+        assert_eq!(trace.footprint[1].0, NodeId(2));
+        // Checks keep execution order and verdicts verbatim.
+        assert_eq!(trace.checks.len(), 4);
+        assert!(trace.checks[0].verdict && !trace.checks[1].verdict);
+        assert_eq!(trace.checks[1].candidate, profile(50.0, 150.0));
+        assert_eq!(trace.checks[3].fits, None);
+    }
+
+    #[test]
+    fn replay_detects_exactly_the_verdict_flips() {
+        use crate::Constraints;
+        let t = topo(5.0);
+        let mut l = StorageLedger::new(&t);
+        l.add(NodeId(1), VideoId(0), profile(0.0, 5000.0));
+        // Record the current verdicts of two probes: a fitting one on the
+        // half-full node and a non-fitting oversized sibling. The dirty
+        // delta covers both supports, so every capacity sub-verdict is
+        // re-evaluated rather than trusted.
+        let small = profile(0.0, 5000.0); // 2 GB atop 2 GB: fits in 5 GB
+        let big = SpaceProfile::new(0.0, 5000.0, units::gb(4.0), 1000.0); // 4+2 GB: no
+        let checks = [
+            AdmissionCheck { loc: NodeId(1), candidate: small, verdict: true, fits: Some(true) },
+            AdmissionCheck { loc: NodeId(1), candidate: big, verdict: false, fits: Some(false) },
+        ];
+        let mut dirty = LedgerDelta::new();
+        dirty.record(NodeId(1), 0.0, 1e9);
+        let replay = |l: &StorageLedger, bans: &[(NodeId, crate::Interval)]| {
+            let cons = Constraints { ledger: l, exclude: None, forbidden: bans };
+            let mut cursor = LedgerCursor::new();
+            checks.iter().all(|c| cons.check_replays(&t, c, &dirty, &mut cursor))
+        };
+        assert!(replay(&l, &[]));
+        // A mutation inside the support that flips no verdict: removing
+        // and re-adding the same profile.
+        l.remove(NodeId(1), VideoId(0));
+        l.add(NodeId(1), VideoId(0), profile(0.0, 5000.0));
+        assert!(replay(&l, &[]));
+        // A new ban covering the fitting probe flips its answer to
+        // "rejected"; detected without consulting the ledger.
+        let ban = [(NodeId(1), crate::Interval::new(0.0, 100.0))];
+        assert!(!replay(&l, &ban));
+        // Freeing the node flips the second verdict; detected.
+        l.remove(NodeId(1), VideoId(0));
+        assert!(!replay(&l, &[]));
+        // And filling it back past the first probe's headroom flips the
+        // first; also detected.
+        l.add(NodeId(1), VideoId(2), SpaceProfile::new(0.0, 5000.0, units::gb(4.0), 1000.0));
+        assert!(!replay(&l, &[]));
     }
 }

@@ -25,14 +25,16 @@
 //! Serving directly from the warehouse is always admissible, so the
 //! rejective greedy always produces a feasible schedule.
 
-use crate::{Interval, LedgerCursor, SchedCtx, StorageLedger};
+use crate::{
+    AdmissionCheck, Interval, LedgerCursor, LedgerDelta, SchedCtx, StorageLedger, TrialTrace,
+};
 use std::collections::BTreeMap;
 use vod_cost_model::{
     Dollars, Request, RequestBatch, Residency, Schedule, Secs, SpaceProfile, Transfer, Video,
     VideoId, VideoSchedule,
 };
 use vod_parallel::{map_with_mode, ExecMode};
-use vod_topology::NodeId;
+use vod_topology::{NodeId, Topology};
 
 /// Relative tolerance for treating two candidate costs as equal, letting
 /// the deterministic tie-break order decide.
@@ -84,11 +86,26 @@ pub struct Constraints<'a> {
 }
 
 impl Constraints<'_> {
+    /// Whether `profile` overlaps a forbidden window at `loc` with
+    /// positive space — the ledger-independent half of [`admits`].
+    ///
+    /// [`admits`]: Constraints::admits
+    fn banned(&self, loc: NodeId, profile: &SpaceProfile) -> bool {
+        if profile.peak() <= 0.0 {
+            return false;
+        }
+        let support = Interval::new(profile.start, profile.end);
+        self.forbidden.iter().any(|(floc, window)| *floc == loc && support.overlaps(window))
+    }
+
     /// Whether `profile` may be placed at `loc`: it must not overlap any
     /// forbidden window at `loc` with positive space, and it must fit
     /// under the storage's capacity together with everything else. The
     /// cursor carries reusable scratch buffers across admission tests so
-    /// the hot path allocates nothing.
+    /// the hot path allocates nothing; when tracing, every test is
+    /// recorded — banned and infinite-capacity answers with `fits =
+    /// None` (they are ledger-independent but still ban-dependent), and
+    /// ledger-consulting answers with their capacity sub-verdict.
     fn admits(
         &self,
         ctx: &SchedCtx<'_>,
@@ -96,15 +113,93 @@ impl Constraints<'_> {
         profile: &SpaceProfile,
         cursor: &mut LedgerCursor,
     ) -> bool {
-        if profile.peak() > 0.0 {
-            let support = Interval::new(profile.start, profile.end);
-            for (floc, window) in self.forbidden {
-                if *floc == loc && support.overlaps(window) {
-                    return false;
-                }
+        if self.banned(loc, profile) {
+            cursor.record_admission(loc, profile, false, None);
+            return false;
+        }
+        let verdict = self.ledger.fits_cursor(ctx.topo, loc, profile, self.exclude, cursor);
+        let fits = ctx.topo.capacity(loc).is_finite().then_some(verdict);
+        cursor.record_admission(loc, profile, verdict, fits);
+        verdict
+    }
+
+    /// Whether one recorded [`AdmissionCheck`] re-evaluates to its
+    /// trial-time verdict under *these* constraints — the current ledger
+    /// and the possibly-different forbidden windows. SORP's trial cache
+    /// keys entries by video alone and uses this to decide, at lookup
+    /// time, whether a memoized trial would replay bit-identically under
+    /// the bans the new trial job carries: the greedy observes its
+    /// constraints only through the sequence of [`admits`] booleans, so
+    /// by induction (each matching answer reproduces the exact state
+    /// that determined the next test) matching answers for every
+    /// recorded check imply an identical greedy execution and output.
+    ///
+    /// The re-evaluation mirrors [`admits`] exactly: a check banned
+    /// under the current windows answers `false`; an infinite-capacity
+    /// storage answers `true`; otherwise the capacity sub-verdict
+    /// decides — reused verbatim when it was recorded and no span of
+    /// `dirty` touches the candidate's (node, support), re-derived from
+    /// the ledger otherwise. Reuse is sound because a profile whose
+    /// support is disjoint from every mutation contributes exactly `0.0`
+    /// at every instant of the candidate's support, which neither moves
+    /// the timeline's peak (the plateau-sum fast path is
+    /// conservative-consistent: it can flip which code path answers but
+    /// never the boolean) nor perturbs the reference mode's float
+    /// summation (adding an exact IEEE zero to a non-negative sum is the
+    /// identity, at any position).
+    ///
+    /// [`admits`]: Constraints::admits
+    pub fn check_replays(
+        &self,
+        topo: &Topology,
+        check: &AdmissionCheck,
+        dirty: &LedgerDelta,
+        cursor: &mut LedgerCursor,
+    ) -> bool {
+        if self.banned(check.loc, &check.candidate) {
+            return !check.verdict;
+        }
+        if !topo.capacity(check.loc).is_finite() {
+            return check.verdict;
+        }
+        let fits = match check.fits {
+            Some(v)
+                if !dirty.intersects(&[(
+                    check.loc,
+                    check.candidate.start,
+                    check.candidate.end,
+                )]) =>
+            {
+                v
+            }
+            _ => self.ledger.fits_cursor(topo, check.loc, &check.candidate, self.exclude, cursor),
+        };
+        fits == check.verdict
+    }
+
+    /// Rebind a trace whose every check was just verified (via
+    /// [`Constraints::check_replays`]) to *these* forbidden windows. A
+    /// check recorded as ban-rejected (`fits == None`, finite capacity)
+    /// that is no longer banned has just had its capacity sub-verdict
+    /// derived from the ledger by the successful replay — it answered
+    /// exactly `verdict`, or the replay would have failed — so the
+    /// dependency is materialized (`fits = Some(verdict)`) and its
+    /// support unioned into the ledger footprint. This restores the
+    /// [`TrialTrace`] invariant that makes later fast-path validations
+    /// sound: every `fits == None` check is ledger-independent *under
+    /// the bans the trace is bound to*, and every other check is covered
+    /// by the footprint.
+    pub fn rebind_trace(&self, topo: &Topology, trace: &mut TrialTrace) {
+        for i in 0..trace.checks.len() {
+            let c = trace.checks[i];
+            if c.fits.is_none()
+                && topo.capacity(c.loc).is_finite()
+                && !self.banned(c.loc, &c.candidate)
+            {
+                trace.checks[i].fits = Some(c.verdict);
+                trace.record_footprint(c.loc, c.candidate.start, c.candidate.end);
             }
         }
-        self.ledger.fits_cursor(ctx.topo, loc, profile, self.exclude, cursor)
     }
 }
 
@@ -195,11 +290,42 @@ pub fn reschedule_video(
     greedy(ctx, requests, Some(constraints), GreedyPolicy::default())
 }
 
+/// [`reschedule_video`] that additionally returns the trial's
+/// dependency trace: the per-node footprint union of the
+/// ledger-consulting checks plus the exact sequence of admission tests
+/// and their answers. The schedule is bit-identical to
+/// [`reschedule_video`]'s — tracing only records, it never filters —
+/// and the trace is exactly what SORP's trial cache needs: bans or
+/// ledger mutations that leave every recorded answer unchanged (checked
+/// per check via [`Constraints::check_replays`]) cannot change any
+/// admission answer, so the whole greedy replays identically.
+pub fn reschedule_video_traced(
+    ctx: &SchedCtx<'_>,
+    requests: &[Request],
+    constraints: &Constraints<'_>,
+) -> (VideoSchedule, TrialTrace) {
+    let mut cursor = LedgerCursor::tracing();
+    let vs =
+        greedy_with_cursor(ctx, requests, Some(constraints), GreedyPolicy::default(), &mut cursor);
+    (vs, cursor.take_trace())
+}
+
 fn greedy(
     ctx: &SchedCtx<'_>,
     requests: &[Request],
     constraints: Option<&Constraints<'_>>,
     policy: GreedyPolicy,
+) -> VideoSchedule {
+    let mut cursor = LedgerCursor::new();
+    greedy_with_cursor(ctx, requests, constraints, policy, &mut cursor)
+}
+
+fn greedy_with_cursor(
+    ctx: &SchedCtx<'_>,
+    requests: &[Request],
+    constraints: Option<&Constraints<'_>>,
+    policy: GreedyPolicy,
+    cursor: &mut LedgerCursor,
 ) -> VideoSchedule {
     let first = requests.first().expect("cannot schedule an empty request group");
     let vid = first.video;
@@ -214,8 +340,6 @@ fn greedy(
     // Active caches, keyed by hosting storage for deterministic iteration.
     let mut caches: BTreeMap<NodeId, Residency> = BTreeMap::new();
     let mut schedule = VideoSchedule::new(vid);
-    // One set of admission-test scratch buffers for the whole reschedule.
-    let mut cursor = LedgerCursor::new();
 
     for req in requests {
         let local = ctx.topo.home_of(req.user);
@@ -239,12 +363,10 @@ fn greedy(
             // Cost and admissibility of extending the source copy to serve
             // at req.start.
             let ext = match caches.get(&src) {
-                Some(r) => {
-                    match extension(ctx, video, r, req.start, constraints, &mut cursor) {
-                        Some(cost) => cost,
-                        None => continue, // extension inadmissible: skip source
-                    }
-                }
+                Some(r) => match extension(ctx, video, r, req.start, constraints, cursor) {
+                    Some(cost) => cost,
+                    None => continue, // extension inadmissible: skip source
+                },
                 None => 0.0,
             };
 

@@ -67,15 +67,17 @@ mod timeline;
 pub use bandwidth_aware::{
     bandwidth_aware_solve, constrained_cheapest_path, BandwidthAwareOutcome, LinkLedger,
 };
-pub use capacity::{LedgerCursor, LedgerMode, StorageLedger};
+pub use capacity::{
+    AdmissionCheck, LedgerCursor, LedgerDelta, LedgerMode, StorageLedger, TrialTrace,
+};
 pub use ctx::SchedCtx;
 pub use exact::{find_optimal_video_schedule, ExactOutcome};
 pub use greedy::{
     find_video_schedule, find_video_schedule_with, ivsp_solve, ivsp_solve_with,
-    ivsp_solve_with_mode, reschedule_video, Constraints, GreedyPolicy,
+    ivsp_solve_with_mode, reschedule_video, reschedule_video_traced, Constraints, GreedyPolicy,
 };
 pub use heat::{delta_s, heat_of, improved_period, improvement_window, HeatMetric};
-pub use overflow::{detect_overflows, overflow_set, Interval, Overflow};
+pub use overflow::{detect_overflows, overflow_set, Interval, Overflow, OverflowMonitor};
 pub use pricing::{ivsp_solve_priced, ivsp_solve_priced_with, PricedSchedule};
 pub use repair::{
     repair_schedule, DelayRecord, RepairConfig, RepairOutcome, ShedReason, ShedRecord,

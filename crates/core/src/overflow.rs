@@ -82,6 +82,65 @@ pub fn detect_overflows(topo: &Topology, ledger: &StorageLedger) -> Vec<Overflow
     out
 }
 
+/// Incremental overflow detector: caches each finite-capacity storage's
+/// overflow list keyed by the ledger's per-node mutation version, so a
+/// refresh rescans only the nodes touched since the previous one. The
+/// output is identical to [`detect_overflows`] by construction — both
+/// iterate `topo.storages()` in order and compute each node's list with
+/// the same scan; the monitor merely skips nodes whose aggregate
+/// occupancy provably did not change.
+#[derive(Clone, Debug, Default)]
+pub struct OverflowMonitor {
+    /// Per finite-capacity storage, in `topo.storages()` order:
+    /// `(node, version at last scan, overflows found then)`.
+    cache: Vec<(NodeId, u64, Vec<Overflow>)>,
+    /// Nodes rescanned by the most recent [`OverflowMonitor::refresh`].
+    rescanned: usize,
+}
+
+impl OverflowMonitor {
+    /// A monitor with an empty cache: the first refresh scans every node.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Recompute the overflow set, rescanning only storages whose ledger
+    /// version moved since the last refresh. Must always be called with
+    /// the same `topo` (the cache is keyed by its storage order).
+    pub fn refresh(&mut self, topo: &Topology, ledger: &StorageLedger) -> Vec<Overflow> {
+        self.rescanned = 0;
+        let mut slot = 0usize;
+        for loc in topo.storages() {
+            let capacity = topo.capacity(loc);
+            if !capacity.is_finite() {
+                continue;
+            }
+            let version = ledger.node_version(loc);
+            match self.cache.get_mut(slot) {
+                Some((l, v, ofs)) => {
+                    debug_assert_eq!(*l, loc, "monitor reused across topologies");
+                    if *v != version {
+                        *v = version;
+                        *ofs = overflows_at(ledger, loc, capacity);
+                        self.rescanned += 1;
+                    }
+                }
+                None => {
+                    self.cache.push((loc, version, overflows_at(ledger, loc, capacity)));
+                    self.rescanned += 1;
+                }
+            }
+            slot += 1;
+        }
+        self.cache.iter().flat_map(|(_, _, ofs)| ofs.iter().cloned()).collect()
+    }
+
+    /// How many storages the last refresh actually rescanned.
+    pub fn nodes_rescanned(&self) -> usize {
+        self.rescanned
+    }
+}
+
 /// Overflow intervals at one storage given its capacity.
 fn overflows_at(ledger: &StorageLedger, loc: NodeId, capacity: Bytes) -> Vec<Overflow> {
     let mut scan = OverflowScan::new(loc, capacity);
@@ -377,5 +436,47 @@ mod tests {
         let s = Schedule::new();
         let ledger = StorageLedger::from_schedule(&topo, &catalog, &s);
         assert!(detect_overflows(&topo, &ledger).is_empty());
+    }
+
+    fn same_overflows(a: &[Overflow], b: &[Overflow]) -> bool {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| {
+                x.loc == y.loc
+                    && x.window == y.window
+                    && x.peak_excess.to_bits() == y.peak_excess.to_bits()
+            })
+    }
+
+    #[test]
+    fn monitor_matches_full_scan_and_rescans_only_dirty_nodes() {
+        use vod_cost_model::SpaceProfile;
+        let (mut topo, catalog) = setup(5.0);
+        topo.set_uniform_capacity(units::gb(4.0)).unwrap();
+        let s =
+            schedule_with(vec![residency(0, 1, 0.0, 10_000.0), residency(1, 1, 2_000.0, 12_000.0)]);
+        let mut ledger = StorageLedger::from_schedule(&topo, &catalog, &s);
+
+        let mut mon = OverflowMonitor::new();
+        let inc = mon.refresh(&topo, &ledger);
+        assert!(same_overflows(&inc, &detect_overflows(&topo, &ledger)));
+        assert!(mon.nodes_rescanned() > 0, "first refresh scans everything");
+
+        // No mutation: nothing rescanned, same answer.
+        let again = mon.refresh(&topo, &ledger);
+        assert_eq!(mon.nodes_rescanned(), 0);
+        assert!(same_overflows(&again, &inc));
+
+        // Mutate one node: exactly that node is rescanned and the answer
+        // tracks the full scan.
+        ledger.remove(NodeId(1), vod_cost_model::VideoId(1));
+        ledger.add(
+            NodeId(2),
+            vod_cost_model::VideoId(1),
+            SpaceProfile::new(2_000.0, 12_000.0, units::gb(2.5), units::minutes(90.0)),
+        );
+        let after = mon.refresh(&topo, &ledger);
+        assert_eq!(mon.nodes_rescanned(), 2, "both mutated nodes rescan");
+        assert!(same_overflows(&after, &detect_overflows(&topo, &ledger)));
+        assert!(after.iter().all(|of| of.loc != NodeId(1)), "node 1 resolved");
     }
 }

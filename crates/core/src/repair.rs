@@ -153,8 +153,19 @@ pub fn repair_schedule(
     // Degraded context: route around every failed link for the whole
     // horizon (conservative — a repaired stream must not depend on the
     // timing of a failure), while pricing stays on the real rates.
-    let droutes = RouteTable::build_avoiding(ctx.topo, &plan.failed_links());
-    let dctx = SchedCtx::with_routes(ctx.topo, droutes, ctx.model, ctx.catalog);
+    // Pure-outage plans break no links, so the degraded table would be
+    // identical to the pristine one — reuse it instead of re-running
+    // Dijkstra from every source (the dominant constant cost of
+    // small-batch repairs).
+    let failed_links = plan.failed_links();
+    let owned_dctx;
+    let dctx: &SchedCtx<'_> = if failed_links.is_empty() {
+        ctx
+    } else {
+        let droutes = RouteTable::build_avoiding(ctx.topo, &failed_links);
+        owned_dctx = SchedCtx::with_routes(ctx.topo, droutes, ctx.model, ctx.catalog);
+        &owned_dctx
+    };
 
     // Occupancy of the whole committed schedule; repaired videos are
     // excluded per-video via `Constraints::exclude` and re-entered on
@@ -196,7 +207,7 @@ pub fn repair_schedule(
             VideoSchedule::new(vid)
         } else {
             let cons = Constraints { ledger: &ledger, exclude: Some(vid), forbidden: &forbidden };
-            reschedule_video(&dctx, &servable, &cons)
+            reschedule_video(dctx, &servable, &cons)
         };
 
         for req in bridge_dependent {

@@ -19,10 +19,44 @@
 //! deterministic fallback (forcing remaining overflow participants to
 //! direct warehouse delivery, which uses no storage) guards the iteration
 //! cap regardless.
+//!
+//! ## Conflict-scoped incrementality
+//!
+//! Each commit perturbs exactly one video's residencies at a handful of
+//! (node, time-window) pairs, yet the naive loop re-derives *everything*
+//! per iteration. The production solver therefore scopes the per-iteration
+//! work to the footprint of the last commit:
+//!
+//! * a **trial cache** memoizes each video's latest trial together with
+//!   its dependency trace (recorded by the tracing
+//!   [`crate::LedgerCursor`]): the bans it ran under, a coarse per-node
+//!   footprint of the ledger-consulting checks, and the exact sequence
+//!   of admission tests with their answers. Each commit records its
+//!   mutations into a [`crate::LedgerDelta`]; entries validate *lazily
+//!   at lookup* against the job's (possibly shifted) bans and the deltas
+//!   that landed since they were last known good — identical bans plus a
+//!   disjoint footprint means nothing moved, and otherwise the entry
+//!   survives iff every recorded admission answer re-evaluates unchanged
+//!   under the new bans and current ledger
+//!   ([`crate::Constraints::check_replays`]), the exact condition for a
+//!   bit-identical replay. Keying by video alone (instead of `(video,
+//!   bans)`) is what lets an entry survive a commit that merely *shifts*
+//!   an overflow window without changing any greedy decision — the
+//!   dominant case once a victim vacates a contended node. The parallel
+//!   fan-out then evaluates cache misses only;
+//! * the [`crate::OverflowMonitor`] rescans only storages whose ledger
+//!   version moved, instead of every node's full timeline.
+//!
+//! The pre-cache solver survives behind
+//! [`SorpConfig::use_uncached_solver`] as the equivalence oracle (same
+//! discipline as [`SorpConfig::use_reference_ledger`]): the property
+//! tests assert both paths produce bit-identical schedules, costs,
+//! victims, and iteration counts.
 
 use crate::{
-    detect_overflows, heat_of, overflow_set, reschedule_video, Constraints, HeatMetric, Interval,
-    LedgerMode, PricedSchedule, SchedCtx, StorageLedger,
+    detect_overflows, heat_of, overflow_set, reschedule_video, reschedule_video_traced,
+    Constraints, HeatMetric, Interval, LedgerCursor, LedgerDelta, LedgerMode, Overflow,
+    OverflowMonitor, PricedSchedule, SchedCtx, StorageLedger, TrialTrace,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -69,6 +103,12 @@ pub struct SorpConfig {
     /// equivalence testing and benchmarking — the timeline is the
     /// production path and the outputs are identical.
     pub use_reference_ledger: bool,
+    /// Disable the cross-iteration trial cache and the incremental
+    /// overflow monitor: every iteration re-detects every overflow with a
+    /// full scan and re-runs every participant's trial reschedule. Only
+    /// for equivalence testing and benchmarking — the cached solver is
+    /// the production path and the outputs are identical.
+    pub use_uncached_solver: bool,
 }
 
 impl Default for SorpConfig {
@@ -77,6 +117,7 @@ impl Default for SorpConfig {
             metric: HeatMetric::TimeSpacePerCost,
             max_iterations: 10_000,
             use_reference_ledger: false,
+            use_uncached_solver: false,
         }
     }
 }
@@ -124,6 +165,17 @@ pub struct SorpOutcome {
     pub overflow_free: bool,
     /// Number of videos forced to all-direct delivery by the fallback.
     pub forced_fallbacks: usize,
+    /// Trial reschedules actually executed by the rejective greedy.
+    /// `trials_run + trials_cached` equals the total number of trial jobs
+    /// materialized across all iterations.
+    pub trials_run: usize,
+    /// Trial jobs answered from the cross-iteration cache without
+    /// re-running the greedy (always 0 for the uncached oracle).
+    pub trials_cached: usize,
+    /// Finite-capacity storages whose occupancy timeline was rescanned by
+    /// overflow detection, summed over all loop iterations (the uncached
+    /// oracle rescans every one, every iteration).
+    pub nodes_rescanned: usize,
 }
 
 impl SorpOutcome {
@@ -188,6 +240,174 @@ struct TrialJob {
     old_cost: Dollars,
 }
 
+/// A memoized trial: the greedy's output, its cost, and the dependency
+/// it was derived under. The cache holds a short *list* of these per
+/// video (one per distinct bans-behavior) — the bans are part of the
+/// entry and are re-validated (not merely compared) at lookup time, so
+/// an entry survives overflow windows that shifted without changing any
+/// admission answer, and is *rebound* to the new bans when it does
+/// (see [`crate::Constraints::rebind_trace`]). The inputs that are not validated explicitly — the
+/// video's current requests and the effective ledger (ledger minus the
+/// video's own profiles, `exclude`) — need no check: a video's delivered
+/// request set is invariant across reschedules, and the video's own
+/// occupancy is invisible to its trials.
+struct CachedTrial {
+    /// The trial reschedule's output.
+    new_vs: VideoSchedule,
+    /// `ctx.video_cost(&new_vs)`, computed once at trial time.
+    new_cost: Dollars,
+    /// The forbidden windows the entry is currently known valid under.
+    bans: Vec<(NodeId, Interval)>,
+    /// The trial's dependency: coarse ledger footprint plus the exact
+    /// admission-test sequence.
+    trace: TrialTrace,
+    /// Number of commit deltas already accounted for: the entry is known
+    /// to replay bit-identically against the ledger as of
+    /// `deltas[..epoch]`.
+    epoch: usize,
+}
+
+/// Cap on memoized trials per video. A video keeps one entry per
+/// distinct bans-behavior it was recently trialed under — in practice
+/// one per overflow it participates in — so the cap only guards
+/// pathological instances. Overflowing drops the *oldest* entry,
+/// deterministically.
+const MAX_TRIALS_PER_VIDEO: usize = 128;
+
+/// Lazy conflict-scoped cache lookup: remove and return the first of the
+/// video's memoized trials that would replay bit-identically under
+/// `job`'s bans and the *current* ledger, or report a miss. Per entry,
+/// the fast path — bans unchanged and the commit deltas accumulated
+/// since the entry's epoch disjoint from its ledger footprint — answers
+/// without re-evaluating anything; otherwise the entry qualifies iff
+/// every recorded admission test re-answers identically under the new
+/// constraints ([`Constraints::check_replays`]), the exact condition for
+/// a bit-identical replay, at the cost of a few near-O(1) probes instead
+/// of a full greedy re-run. Validating lazily (rather than sweeping the
+/// cache on every commit) means entries never consulted again — dominant
+/// once a video leaves the overflow set — cost nothing.
+///
+/// The hit is *removed* rather than borrowed so that several jobs for
+/// the same video within one iteration (one per overflow, with different
+/// bans) stay independent: each consumes at most one entry, and
+/// [`bank_trial`] returns the survivors afterwards. An entry that fails
+/// with bans equal to the job's is evicted (only a ledger flip can have
+/// failed it, so it is stale for everyone); one that fails under
+/// *different* bans is kept — it may replay verbatim for another
+/// overflow's job.
+fn take_cached(
+    cache: &mut HashMap<VideoId, Vec<CachedTrial>>,
+    job: &TrialJob,
+    deltas: &[LedgerDelta],
+    ctx: &SchedCtx<'_>,
+    ledger: &StorageLedger,
+) -> Option<CachedTrial> {
+    let list = cache.get_mut(&job.vid)?;
+    let mut cursor = LedgerCursor::new();
+    // Newest entries first: the trial banked in the previous iteration is
+    // by far the likeliest to replay, so it should be reached before any
+    // lingering older variants are (expensively) ruled out.
+    let mut i = list.len();
+    while i > 0 {
+        i -= 1;
+        let e = &list[i];
+        let mut dirty = LedgerDelta::new();
+        for d in &deltas[e.epoch..] {
+            dirty.merge(d);
+        }
+        let bans_same = e.bans == job.bans;
+        let valid = if bans_same {
+            // Identical bans replay every ban outcome a priori (same
+            // windows, same candidates); only the capacity sub-verdicts
+            // the dirty spans could have touched need re-deriving.
+            !dirty.intersects(&e.trace.footprint)
+                || e.trace.checks.iter().all(|c| match c.fits {
+                    Some(v) if dirty.intersects(&[(c.loc, c.candidate.start, c.candidate.end)]) => {
+                        ledger.fits_cursor(
+                            ctx.topo,
+                            c.loc,
+                            &c.candidate,
+                            Some(job.vid),
+                            &mut cursor,
+                        ) == v
+                    }
+                    _ => true,
+                })
+        } else {
+            let cons = Constraints { ledger, exclude: Some(job.vid), forbidden: &job.bans };
+            e.trace.checks.iter().all(|c| cons.check_replays(ctx.topo, c, &dirty, &mut cursor))
+        };
+        if valid {
+            // A successful replay re-verified every ledger-consulting
+            // sub-verdict the dirty spans could have touched, so the
+            // entry is current as of the full delta list — and valid
+            // under the job's bans.
+            let mut e = list.remove(i);
+            e.epoch = deltas.len();
+            if !bans_same {
+                e.bans.clone_from(&job.bans);
+                // Rebinding can turn a ban-rejected check into a
+                // ledger-dependent one; materialize that dependency in
+                // the trace so later fast-path validations see it.
+                let cons = Constraints { ledger, exclude: Some(job.vid), forbidden: &job.bans };
+                cons.rebind_trace(ctx.topo, &mut e.trace);
+            }
+            return Some(e);
+        } else if bans_same {
+            // Only a ledger flip can have failed an identical-bans
+            // entry: stale for every job, drop it.
+            list.remove(i);
+        }
+    }
+    None
+}
+
+/// Return a trial to the cache after an iteration's victim selection.
+/// Any existing entry with the same bans is replaced (it must be the
+/// stale predecessor of this one), and the per-video cap drops the
+/// oldest entry first — both deterministic, so the cache contents are a
+/// pure function of the commit history.
+fn bank_trial(cache: &mut HashMap<VideoId, Vec<CachedTrial>>, vid: VideoId, trial: CachedTrial) {
+    let list = cache.entry(vid).or_default();
+    list.retain(|e| e.bans != trial.bans);
+    if list.len() >= MAX_TRIALS_PER_VIDEO {
+        list.remove(0);
+    }
+    list.push(trial);
+}
+
+/// The sequential reduce both solver paths share: scan `(heat, overhead)`
+/// scores in job order with the epsilon-aware comparison and the
+/// deterministic tie-break, returning the winning `(heat, overhead, job
+/// index)`. Identical comparisons in identical order — the cached path
+/// selects the exact victim the uncached path would, bit for bit.
+fn select_victim(
+    jobs: &[TrialJob],
+    overflows: &[Overflow],
+    scored: &[(f64, Dollars)],
+) -> Option<(f64, Dollars, usize)> {
+    let mut best: Option<(f64, Dollars, usize)> = None;
+    for (ji, &(heat, overhead)) in scored.iter().enumerate() {
+        let better = match &best {
+            None => true,
+            Some((bh, boh, bji)) => {
+                if heats_tie(heat, *bh) {
+                    let (job, bjob) = (&jobs[ji], &jobs[*bji]);
+                    let (of, bof) = (&overflows[job.of_idx], &overflows[bjob.of_idx]);
+                    (overhead, job.vid.0, of.loc.0, of.window.start)
+                        < (*boh, bjob.vid.0, bof.loc.0, bof.window.start)
+                } else {
+                    heat > *bh
+                }
+            }
+        };
+        if better {
+            best = Some((heat, overhead, ji));
+        }
+    }
+    best
+}
+
 /// The full-control SORP entry point: resolve overflows on an
 /// already-priced schedule, under an explicit [`ExecMode`].
 ///
@@ -220,8 +440,26 @@ pub fn sorp_solve_priced(
     let mut iterations = 0usize;
     let mut forced_fallbacks = 0usize;
 
+    let cached = !cfg.use_uncached_solver;
+    let mut monitor = OverflowMonitor::new();
+    let mut cache: HashMap<VideoId, Vec<CachedTrial>> = HashMap::new();
+    // One LedgerDelta per commit, in commit order; cache entries validate
+    // lazily against the suffix that landed after their epoch.
+    let mut deltas: Vec<LedgerDelta> = Vec::new();
+    let mut trials_run = 0usize;
+    let mut trials_cached = 0usize;
+    let mut nodes_rescanned = 0usize;
+
     loop {
-        let overflows = detect_overflows(ctx.topo, &ledger);
+        let overflows = if cached {
+            let ofs = monitor.refresh(ctx.topo, &ledger);
+            nodes_rescanned += monitor.nodes_rescanned();
+            ofs
+        } else {
+            nodes_rescanned +=
+                ctx.topo.storages().filter(|&l| ctx.topo.capacity(l).is_finite()).count();
+            detect_overflows(ctx.topo, &ledger)
+        };
         if overflows.is_empty() {
             break;
         }
@@ -237,7 +475,11 @@ pub fn sorp_solve_priced(
             let vid = victim.video;
             let old = priced.schedule().video(vid).expect("victim video is scheduled").clone();
             let new_vs = force_direct(ctx, &old);
-            commit(ctx, &mut priced, &mut ledger, new_vs);
+            let mut delta = LedgerDelta::new();
+            commit(ctx, &mut priced, &mut ledger, new_vs, &mut delta);
+            if cached {
+                deltas.push(delta);
+            }
             forced_fallbacks += 1;
             continue;
         }
@@ -262,44 +504,75 @@ pub fn sorp_solve_priced(
             }
         }
 
-        // Fan the trial reschedules out: each is a pure function of its
-        // job, the (frozen) ledger, and the context.
-        let trials = map_with_mode(mode, &jobs, |job| {
-            let cons =
-                Constraints { ledger: &ledger, exclude: Some(job.vid), forbidden: &job.bans };
-            let new_vs = reschedule_video(ctx, &job.requests, &cons);
-            let overhead = ctx.video_cost(&new_vs) - job.old_cost;
-            let heat = heat_of(cfg.metric, &overflows[job.of_idx], &job.profile, overhead);
-            (heat, overhead, new_vs)
-        });
+        // Score every job, then reduce sequentially in job order. The
+        // heat inputs that are cheap and iteration-local (the overflow,
+        // the participant's profile, the memoized current cost) are
+        // always read fresh; only the greedy's output is memoized.
+        let (ji, heat, overhead, new_vs) = if cached {
+            // Pull each job's trial out of the cache where a memoized one
+            // still replays under the job's bans and the current ledger.
+            let mut slots: Vec<Option<CachedTrial>> = jobs
+                .iter()
+                .map(|job| take_cached(&mut cache, job, &deltas, ctx, &ledger))
+                .collect();
+            let miss_idx: Vec<usize> = (0..jobs.len()).filter(|&ji| slots[ji].is_none()).collect();
+            trials_run += miss_idx.len();
+            trials_cached += jobs.len() - miss_idx.len();
 
-        // Reduce sequentially in job order: same comparisons, same
-        // winner as a sequential scan, regardless of worker scheduling.
-        let mut best: Option<(f64, Dollars, usize, VideoSchedule)> = None;
-        for (ji, (heat, overhead, new_vs)) in trials.into_iter().enumerate() {
-            let better = match &best {
-                None => true,
-                Some((bh, boh, bji, _)) => {
-                    if heats_tie(heat, *bh) {
-                        let (job, bjob) = (&jobs[ji], &jobs[*bji]);
-                        let (of, bof) = (&overflows[job.of_idx], &overflows[bjob.of_idx]);
-                        (overhead, job.vid.0, of.loc.0, of.window.start)
-                            < (*boh, bjob.vid.0, bof.loc.0, bof.window.start)
-                    } else {
-                        heat > *bh
-                    }
-                }
-            };
-            if better {
-                best = Some((heat, overhead, ji, new_vs));
+            // Fan out only the cache misses: each is a pure function of
+            // its job, the (frozen) ledger, and the context, and carries
+            // its dependency trace home for future lookups.
+            let fresh = map_with_mode(mode, &miss_idx, |&ji| {
+                let job = &jobs[ji];
+                let cons =
+                    Constraints { ledger: &ledger, exclude: Some(job.vid), forbidden: &job.bans };
+                let (new_vs, trace) = reschedule_video_traced(ctx, &job.requests, &cons);
+                let new_cost = ctx.video_cost(&new_vs);
+                CachedTrial { new_vs, new_cost, bans: job.bans.clone(), trace, epoch: deltas.len() }
+            });
+            for (&ji, trial) in miss_idx.iter().zip(fresh) {
+                slots[ji] = Some(trial);
             }
-        }
 
-        let Some((heat, overhead, ji, new_vs)) = best else {
-            // Every remaining overflow consists purely of external
-            // occupancy: nothing left to reschedule.
-            break;
+            let scored: Vec<(f64, Dollars)> = jobs
+                .iter()
+                .enumerate()
+                .map(|(ji, job)| {
+                    let entry = slots[ji].as_ref().expect("every job holds a trial by now");
+                    let overhead = entry.new_cost - job.old_cost;
+                    (heat_of(cfg.metric, &overflows[job.of_idx], &job.profile, overhead), overhead)
+                })
+                .collect();
+            let Some((heat, overhead, ji)) = select_victim(&jobs, &overflows, &scored) else {
+                break; // purely external overflows: nothing to reschedule
+            };
+            let winner = slots[ji].take().expect("the winning trial is held in its slot");
+            // Bank every non-winning trial for later iterations, in job
+            // order.
+            for (j, slot) in slots.into_iter().enumerate() {
+                if let Some(trial) = slot {
+                    bank_trial(&mut cache, jobs[j].vid, trial);
+                }
+            }
+            (ji, heat, overhead, winner.new_vs)
+        } else {
+            // The pre-cache oracle: re-run every participant's trial.
+            trials_run += jobs.len();
+            let mut trials = map_with_mode(mode, &jobs, |job| {
+                let cons =
+                    Constraints { ledger: &ledger, exclude: Some(job.vid), forbidden: &job.bans };
+                let new_vs = reschedule_video(ctx, &job.requests, &cons);
+                let overhead = ctx.video_cost(&new_vs) - job.old_cost;
+                let heat = heat_of(cfg.metric, &overflows[job.of_idx], &job.profile, overhead);
+                (heat, overhead, new_vs)
+            });
+            let scored: Vec<(f64, Dollars)> = trials.iter().map(|&(h, o, _)| (h, o)).collect();
+            let Some((heat, overhead, ji)) = select_victim(&jobs, &overflows, &scored) else {
+                break; // purely external overflows: nothing to reschedule
+            };
+            (ji, heat, overhead, trials.swap_remove(ji).2)
         };
+
         let (vid, of) = (jobs[ji].vid, &overflows[jobs[ji].of_idx]);
         forbidden.entry(vid).or_default().push((of.loc, of.window));
         victims.push(VictimRecord {
@@ -310,7 +583,11 @@ pub fn sorp_solve_priced(
             overhead,
             heat,
         });
-        commit(ctx, &mut priced, &mut ledger, new_vs);
+        let mut delta = LedgerDelta::new();
+        commit(ctx, &mut priced, &mut ledger, new_vs, &mut delta);
+        if cached {
+            deltas.push(delta);
+        }
     }
 
     // The running total *is* the final cost; cross-check the delta
@@ -326,22 +603,29 @@ pub fn sorp_solve_priced(
         victims,
         overflow_free,
         forced_fallbacks,
+        trials_run,
+        trials_cached,
+        nodes_rescanned,
     }
 }
 
 /// Replace a video's schedule, updating ledger and pricing incrementally:
 /// occupancy is dropped only at the storages the outgoing schedule
-/// actually used, and the running Ψ moves by the commit's delta.
+/// actually used, and the running Ψ moves by the commit's delta. The
+/// supports of every profile actually removed or added are recorded into
+/// `delta` — the commit's (node, window) footprint, which scopes trial
+/// cache invalidation.
 fn commit(
     ctx: &SchedCtx<'_>,
     priced: &mut PricedSchedule,
     ledger: &mut StorageLedger,
     new_vs: VideoSchedule,
+    delta: &mut LedgerDelta,
 ) {
     let vid = new_vs.video;
     if let Some(old_vs) = priced.schedule().video(vid) {
         for r in &old_vs.residencies {
-            ledger.remove(r.loc, vid);
+            ledger.remove_tracked(r.loc, vid, delta);
         }
     }
     debug_assert!(
@@ -349,7 +633,7 @@ fn commit(
         "ledger held occupancy for video {vid:?} outside its scheduled residencies"
     );
     for r in &new_vs.residencies {
-        ledger.add(r.loc, r.video, r.profile(ctx.catalog.get(r.video)));
+        ledger.add_tracked(r.loc, r.video, r.profile(ctx.catalog.get(r.video)), delta);
     }
     priced.commit(ctx, new_vs);
 }

@@ -89,6 +89,12 @@ pub struct OccupancyTimeline {
     free: Vec<Idx>,
     root: Idx,
     len: usize,
+    /// Mutation counter: ticks on every [`OccupancyTimeline::add`] and
+    /// [`OccupancyTimeline::remove`]. Two reads of the timeline separated
+    /// by an unchanged version saw the identical function (same delta
+    /// set, same tree shape, same accumulation order) — the commit-delta
+    /// signal behind the dirty-node overflow rescan.
+    version: u64,
 }
 
 /// SplitMix64 finalizer: deterministic, well-mixed priority from the
@@ -103,7 +109,16 @@ fn prio_of(t: f64) -> u64 {
 impl OccupancyTimeline {
     /// An empty timeline.
     pub fn new() -> Self {
-        Self { nodes: Vec::new(), free: Vec::new(), root: NIL, len: 0 }
+        Self { nodes: Vec::new(), free: Vec::new(), root: NIL, len: 0, version: 0 }
+    }
+
+    /// The mutation counter: any change to the timeline since a previous
+    /// read is visible as a different version. Equal versions guarantee a
+    /// bit-identical function; unequal versions are a conservative "may
+    /// have changed" signal (an add/remove pair that restores the same
+    /// state still ticks it twice).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Number of distinct breakpoint times.
@@ -119,6 +134,7 @@ impl OccupancyTimeline {
     /// Merge one breakpoint delta in (O(log n)).
     pub fn add(&mut self, t: Secs, jump: Bytes, dslope: f64) {
         debug_assert!(t.is_finite(), "breakpoint time must be finite, got {t}");
+        self.version += 1;
         self.root = self.add_rec(self.root, t, jump, dslope);
     }
 
@@ -126,6 +142,7 @@ impl OccupancyTimeline {
     /// earlier [`OccupancyTimeline::add`] with identical arguments; the
     /// breakpoint node is freed when its last contributor leaves.
     pub fn remove(&mut self, t: Secs, jump: Bytes, dslope: f64) {
+        self.version += 1;
         self.root = self.remove_rec(self.root, t, jump, dslope);
     }
 
@@ -544,6 +561,25 @@ mod tests {
         let (_, _, v0, v1) = segs[1];
         assert_eq!(v0, 1000.0);
         assert!(v1.abs() < 1e-9, "drain closes to zero, got {v1}");
+    }
+
+    #[test]
+    fn version_ticks_on_every_mutation_and_only_then() {
+        let mut tl = OccupancyTimeline::new();
+        assert_eq!(tl.version(), 0);
+        let p = SpaceProfile::new(0.0, 500.0, 1000.0, 200.0);
+        add_profile(&mut tl, &p);
+        let after_add = tl.version();
+        assert!(after_add > 0, "adds must tick the version");
+        // Queries never tick it.
+        let _ = tl.prefix(100.0).value_at(100.0);
+        tl.for_each_segment(|_, _, _, _| {});
+        assert_eq!(tl.version(), after_add);
+        // Removing back to empty still moves the version forward: equal
+        // versions mean "identical function", not the converse.
+        remove_profile(&mut tl, &p);
+        assert!(tl.version() > after_add);
+        assert!(tl.is_empty());
     }
 
     #[test]

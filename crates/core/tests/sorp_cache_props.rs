@@ -1,0 +1,195 @@
+//! Property tests for the conflict-scoped SORP solver: across random
+//! topologies, workloads, heat metrics, execution modes, and ledger
+//! modes, the cached solver (cross-iteration trial cache + incremental
+//! overflow monitor) must be **bit-identical** to the uncached oracle —
+//! same schedule, same cost bits, same victims, same iteration count —
+//! and its counters must reconcile: every materialized trial job is
+//! either run or answered from the cache.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use vod_core::{
+    ivsp_solve_priced, sorp_solve_priced, ExecMode, HeatMetric, SchedCtx, SorpConfig, SorpOutcome,
+};
+use vod_cost_model::CostModel;
+use vod_topology::{builders, Topology};
+use vod_workload::{CatalogConfig, RequestConfig, Workload};
+
+/// One randomized solver scenario.
+#[derive(Clone, Debug)]
+struct Scenario {
+    topo_kind: u32,
+    storages: usize,
+    capacity_gb: f64,
+    workload_seed: u64,
+    metric: HeatMetric,
+    parallel: bool,
+    reference_ledger: bool,
+    max_iterations: usize,
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (
+        0u32..4,
+        4usize..12,
+        prop_oneof![Just(4.0), Just(5.0), Just(8.0)],
+        0u64..1_000,
+        prop_oneof![
+            Just(HeatMetric::ImprovedPeriod),
+            Just(HeatMetric::PeriodPerCost),
+            Just(HeatMetric::TimeSpace),
+            Just(HeatMetric::TimeSpacePerCost),
+        ],
+        any::<bool>(),
+        any::<bool>(),
+        prop_oneof![Just(3usize), Just(10_000)],
+    )
+        .prop_map(
+            |(
+                topo_kind,
+                storages,
+                capacity_gb,
+                workload_seed,
+                metric,
+                parallel,
+                reference_ledger,
+                max_iterations,
+            )| Scenario {
+                topo_kind,
+                storages,
+                capacity_gb,
+                workload_seed,
+                metric,
+                parallel,
+                reference_ledger,
+                max_iterations,
+            },
+        )
+}
+
+fn build_topo(s: &Scenario) -> Topology {
+    let gen = builders::GenConfig {
+        storages: s.storages,
+        capacity_gb: s.capacity_gb,
+        users_per_neighborhood: 4,
+        ..builders::GenConfig::default()
+    };
+    match s.topo_kind {
+        0 => builders::paper_fig4(&builders::PaperFig4Config {
+            capacity_gb: s.capacity_gb,
+            ..Default::default()
+        }),
+        1 => builders::random_connected(&gen, 3, s.workload_seed ^ 0xC0FFEE),
+        2 => builders::ring(&gen),
+        _ => builders::binary_tree(&gen),
+    }
+}
+
+fn solve(ctx: &SchedCtx<'_>, wl: &Workload, s: &Scenario, uncached: bool) -> SorpOutcome {
+    let cfg = SorpConfig {
+        metric: s.metric,
+        max_iterations: s.max_iterations,
+        use_reference_ledger: s.reference_ledger,
+        use_uncached_solver: uncached,
+    };
+    let mode = if s.parallel { ExecMode::Parallel } else { ExecMode::Sequential };
+    sorp_solve_priced(ctx, ivsp_solve_priced(ctx, &wl.requests), &cfg, &[], mode)
+}
+
+/// Field-by-field bit equality of the two outcomes' decisions.
+fn assert_bit_identical(cached: &SorpOutcome, oracle: &SorpOutcome) -> Result<(), TestCaseError> {
+    prop_assert!(cached.schedule == oracle.schedule, "schedules diverged");
+    prop_assert_eq!(cached.cost.to_bits(), oracle.cost.to_bits());
+    prop_assert_eq!(cached.initial_cost.to_bits(), oracle.initial_cost.to_bits());
+    prop_assert_eq!(cached.iterations, oracle.iterations);
+    prop_assert_eq!(cached.overflow_free, oracle.overflow_free);
+    prop_assert_eq!(cached.forced_fallbacks, oracle.forced_fallbacks);
+    prop_assert_eq!(cached.victims.len(), oracle.victims.len());
+    for (a, b) in cached.victims.iter().zip(&oracle.victims) {
+        prop_assert_eq!(a.video, b.video);
+        prop_assert_eq!(a.loc, b.loc);
+        prop_assert_eq!(a.window_start.to_bits(), b.window_start.to_bits());
+        prop_assert_eq!(a.window_end.to_bits(), b.window_end.to_bits());
+        prop_assert_eq!(a.overhead.to_bits(), b.overhead.to_bits());
+        prop_assert_eq!(a.heat.to_bits(), b.heat.to_bits());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// The cached solver's output is bit-identical to the uncached
+    /// oracle's, and the trial counters reconcile: both paths
+    /// materialize the same jobs (they take identical decisions), the
+    /// oracle runs every one, and the cached path runs + caches exactly
+    /// that many.
+    #[test]
+    fn cached_sorp_is_bit_identical_to_uncached(s in scenario_strategy()) {
+        let topo = build_topo(&s);
+        let wl = Workload::generate(
+            &topo,
+            &CatalogConfig::small(24),
+            &RequestConfig::paper(),
+            s.workload_seed,
+        );
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
+
+        let cached = solve(&ctx, &wl, &s, false);
+        let oracle = solve(&ctx, &wl, &s, true);
+        assert_bit_identical(&cached, &oracle)?;
+
+        // Counter reconciliation: the oracle never caches, and its
+        // trials_run is the total job count of the (identical) run.
+        prop_assert_eq!(oracle.trials_cached, 0);
+        prop_assert_eq!(cached.trials_run + cached.trials_cached, oracle.trials_run);
+        // The monitor never rescans more than the full scan does.
+        prop_assert!(cached.nodes_rescanned <= oracle.nodes_rescanned);
+
+        // Determinism of the cached path itself.
+        let again = solve(&ctx, &wl, &s, false);
+        assert_bit_identical(&again, &cached)?;
+        prop_assert_eq!(again.trials_run, cached.trials_run);
+        prop_assert_eq!(again.trials_cached, cached.trials_cached);
+        prop_assert_eq!(again.nodes_rescanned, cached.nodes_rescanned);
+    }
+}
+
+/// On the paper topology with tight capacity the resolution loop runs
+/// many iterations, so the cache and the monitor must demonstrably pay
+/// off — not just agree with the oracle.
+#[test]
+fn cache_and_monitor_actually_save_work_on_the_paper_instance() {
+    let topo =
+        builders::paper_fig4(&builders::PaperFig4Config { capacity_gb: 5.0, ..Default::default() });
+    let wl = Workload::generate(&topo, &CatalogConfig::small(80), &RequestConfig::paper(), 1);
+    let model = CostModel::per_hop();
+    let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
+    let s = Scenario {
+        topo_kind: 0,
+        storages: 19,
+        capacity_gb: 5.0,
+        workload_seed: 1,
+        metric: HeatMetric::TimeSpacePerCost,
+        parallel: false,
+        reference_ledger: false,
+        max_iterations: 10_000,
+    };
+    let cached = solve(&ctx, &wl, &s, false);
+    let oracle = solve(&ctx, &wl, &s, true);
+    assert!(cached.iterations > 1, "instance too easy to exercise the cache");
+    assert!(cached.trials_cached > 0, "no trial was ever answered from the cache");
+    assert!(
+        cached.trials_run < oracle.trials_run,
+        "cache saved nothing: {} vs {}",
+        cached.trials_run,
+        oracle.trials_run
+    );
+    assert!(
+        cached.nodes_rescanned < oracle.nodes_rescanned,
+        "monitor saved nothing: {} vs {}",
+        cached.nodes_rescanned,
+        oracle.nodes_rescanned
+    );
+}

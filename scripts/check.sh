@@ -19,6 +19,9 @@ cargo bench --offline -p vod-bench --bench capacity_timeline -- --test
 echo "==> bench smoke run (repair_latency --test)"
 cargo bench --offline -p vod-bench --bench repair_latency -- --test
 
+echo "==> bench smoke run (sorp_scaling --test)"
+cargo bench --offline -p vod-bench --bench sorp_scaling -- --test
+
 echo "==> fault-injection suite"
 cargo test -q --offline -p vod-faults
 cargo test -q --offline -p vod-core repair
