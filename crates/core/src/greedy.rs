@@ -28,6 +28,7 @@
 use crate::{
     AdmissionCheck, Interval, LedgerCursor, LedgerDelta, SchedCtx, StorageLedger, TrialTrace,
 };
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use vod_cost_model::{
     Dollars, Request, RequestBatch, Residency, Schedule, Secs, SpaceProfile, Transfer, Video,
@@ -43,7 +44,7 @@ const COST_EPS: f64 = 1e-9;
 /// Tunable design choices of the greedy, exposed for the ablation studies
 /// called out in DESIGN.md. The default enables everything — the paper's
 /// algorithm.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GreedyPolicy {
     /// Consider introducing new relay caches ("another intermediate
     /// storage … is introduced to cache the file", §3.2 option 2).
@@ -287,7 +288,20 @@ pub fn reschedule_video(
     requests: &[Request],
     constraints: &Constraints<'_>,
 ) -> VideoSchedule {
-    greedy(ctx, requests, Some(constraints), GreedyPolicy::default())
+    reschedule_video_with(ctx, requests, constraints, GreedyPolicy::default())
+}
+
+/// [`reschedule_video`] under an explicit [`GreedyPolicy`], so SORP
+/// trials resolve overflows under the same policy phase 1 scheduled
+/// with (e.g. the neighborhood-local regime the sharded solver's
+/// Ψ-equality contract relies on).
+pub fn reschedule_video_with(
+    ctx: &SchedCtx<'_>,
+    requests: &[Request],
+    constraints: &Constraints<'_>,
+    policy: GreedyPolicy,
+) -> VideoSchedule {
+    greedy(ctx, requests, Some(constraints), policy)
 }
 
 /// [`reschedule_video`] that additionally returns the trial's
@@ -304,9 +318,18 @@ pub fn reschedule_video_traced(
     requests: &[Request],
     constraints: &Constraints<'_>,
 ) -> (VideoSchedule, TrialTrace) {
+    reschedule_video_traced_with(ctx, requests, constraints, GreedyPolicy::default())
+}
+
+/// [`reschedule_video_traced`] under an explicit [`GreedyPolicy`].
+pub fn reschedule_video_traced_with(
+    ctx: &SchedCtx<'_>,
+    requests: &[Request],
+    constraints: &Constraints<'_>,
+    policy: GreedyPolicy,
+) -> (VideoSchedule, TrialTrace) {
     let mut cursor = LedgerCursor::tracing();
-    let vs =
-        greedy_with_cursor(ctx, requests, Some(constraints), GreedyPolicy::default(), &mut cursor);
+    let vs = greedy_with_cursor(ctx, requests, Some(constraints), policy, &mut cursor);
     (vs, cursor.take_trace())
 }
 

@@ -61,6 +61,7 @@ pub mod heat;
 mod overflow;
 mod pricing;
 mod repair;
+mod shard;
 mod sorp;
 mod timeline;
 
@@ -74,7 +75,8 @@ pub use ctx::SchedCtx;
 pub use exact::{find_optimal_video_schedule, ExactOutcome};
 pub use greedy::{
     find_video_schedule, find_video_schedule_with, ivsp_solve, ivsp_solve_with,
-    ivsp_solve_with_mode, reschedule_video, reschedule_video_traced, Constraints, GreedyPolicy,
+    ivsp_solve_with_mode, reschedule_video, reschedule_video_traced, reschedule_video_traced_with,
+    reschedule_video_with, Constraints, GreedyPolicy,
 };
 pub use heat::{delta_s, heat_of, improved_period, improvement_window, HeatMetric};
 pub use overflow::{detect_overflows, overflow_set, Interval, Overflow, OverflowMonitor};
@@ -82,6 +84,7 @@ pub use pricing::{ivsp_solve_priced, ivsp_solve_priced_with, PricedSchedule};
 pub use repair::{
     repair_schedule, DelayRecord, RepairConfig, RepairOutcome, ShedReason, ShedRecord,
 };
+pub use shard::{shard_solve, shard_solve_seeded, ShardConfig, ShardOutcome, ShardStats};
 pub use sorp::{
     sorp_solve, sorp_solve_priced, sorp_solve_seeded, SorpConfig, SorpOutcome, VictimRecord,
     EXTERNAL_OCCUPANCY,

@@ -75,6 +75,42 @@ impl PricedSchedule {
         Self { schedule, costs, total }
     }
 
+    /// Merge per-shard priced schedules into one global memo **without
+    /// recomputation**: Ψ is additive over a video's transfers and
+    /// residencies (`video_cost` is their ordered sum), so a video split
+    /// across shards prices its concatenated schedule at exactly the sum
+    /// of its per-shard memo costs — up to float summation order, which
+    /// is why every consumer compares through [`PRICING_EPS`]-relative
+    /// checks rather than bit equality. Videos owned by a single shard
+    /// keep their memo entry verbatim. A single part is returned
+    /// unchanged (bit-identical total), which is what makes the 1-shard
+    /// sharded pipeline coincide with the monolithic one.
+    pub fn merge(mut parts: Vec<PricedSchedule>) -> Self {
+        if parts.len() == 1 {
+            return parts.pop().expect("one part is present");
+        }
+        let mut merged: std::collections::BTreeMap<VideoId, (VideoSchedule, Dollars)> =
+            std::collections::BTreeMap::new();
+        for part in parts {
+            let Self { schedule, costs, .. } = part;
+            for vs in schedule.into_videos() {
+                let cost = costs[&vs.video];
+                match merged.entry(vs.video) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert((vs, cost));
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        let (acc, acc_cost) = e.get_mut();
+                        acc.transfers.extend(vs.transfers);
+                        acc.residencies.extend(vs.residencies);
+                        *acc_cost += cost;
+                    }
+                }
+            }
+        }
+        Self::from_priced_videos(merged.into_values().collect())
+    }
+
     /// The running total Ψ of the whole schedule.
     pub fn total(&self) -> Dollars {
         self.total

@@ -54,9 +54,9 @@
 //! victims, and iteration counts.
 
 use crate::{
-    detect_overflows, heat_of, overflow_set, reschedule_video, reschedule_video_traced,
-    Constraints, HeatMetric, Interval, LedgerCursor, LedgerDelta, LedgerMode, Overflow,
-    OverflowMonitor, PricedSchedule, SchedCtx, StorageLedger, TrialTrace,
+    detect_overflows, heat_of, overflow_set, reschedule_video_traced_with, reschedule_video_with,
+    Constraints, GreedyPolicy, HeatMetric, Interval, LedgerCursor, LedgerDelta, LedgerMode,
+    Overflow, OverflowMonitor, PricedSchedule, SchedCtx, StorageLedger, TrialTrace,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -98,6 +98,11 @@ pub struct SorpConfig {
     /// Safety cap on resolution iterations before the direct-delivery
     /// fallback engages. The loop normally terminates far earlier.
     pub max_iterations: usize,
+    /// The [`GreedyPolicy`] trial reschedules run under. Defaults to the
+    /// paper's full algorithm; the sharded solver sets the same policy
+    /// here and in phase 1 so overflow resolution searches the same
+    /// placement space the schedule was built in.
+    pub policy: GreedyPolicy,
     /// Run every admission test on the naive reference ledger instead of
     /// the occupancy timeline ([`LedgerMode::Reference`]). Only for
     /// equivalence testing and benchmarking — the timeline is the
@@ -109,6 +114,11 @@ pub struct SorpConfig {
     /// for equivalence testing and benchmarking — the cached solver is
     /// the production path and the outputs are identical.
     pub use_uncached_solver: bool,
+    /// Make [`crate::shard_solve`] bypass partitioning entirely and run
+    /// the monolithic IVSP + SORP pipeline on the whole batch — the
+    /// equivalence oracle for the sharded path, following the
+    /// `use_reference_ledger` / `use_uncached_solver` discipline.
+    pub use_monolithic_solver: bool,
 }
 
 impl Default for SorpConfig {
@@ -116,8 +126,10 @@ impl Default for SorpConfig {
         Self {
             metric: HeatMetric::TimeSpacePerCost,
             max_iterations: 10_000,
+            policy: GreedyPolicy::default(),
             use_reference_ledger: false,
             use_uncached_solver: false,
+            use_monolithic_solver: false,
         }
     }
 }
@@ -251,7 +263,7 @@ struct TrialJob {
 /// video's own profiles, `exclude`) — need no check: a video's delivered
 /// request set is invariant across reschedules, and the video's own
 /// occupancy is invisible to its trials.
-struct CachedTrial {
+pub(crate) struct CachedTrial {
     /// The trial reschedule's output.
     new_vs: VideoSchedule,
     /// `ctx.video_cost(&new_vs)`, computed once at trial time.
@@ -264,7 +276,7 @@ struct CachedTrial {
     /// Number of commit deltas already accounted for: the entry is known
     /// to replay bit-identically against the ledger as of
     /// `deltas[..epoch]`.
-    epoch: usize,
+    pub(crate) epoch: usize,
 }
 
 /// Cap on memoized trials per video. A video keeps one entry per
@@ -408,6 +420,283 @@ fn select_victim(
     best
 }
 
+/// The resolution loop's whole working set, extracted so the per-shard
+/// and global-reconciliation passes of [`crate::shard_solve`] can share
+/// one machine: the priced schedule, the occupancy ledger, the
+/// accumulated bans, the incremental [`OverflowMonitor`], and the trial
+/// cache with its commit-delta history. [`SolveState::new`] +
+/// [`SolveState::resolve`] + [`SolveState::into_outcome`] compose to
+/// exactly the monolithic [`sorp_solve_priced`]; the sharded path
+/// instead resolves one state per shard, merges them (transplanting
+/// surviving trial-cache entries and bans), and resolves the merged
+/// state once more.
+pub(crate) struct SolveState {
+    pub(crate) priced: PricedSchedule,
+    pub(crate) ledger: StorageLedger,
+    pub(crate) forbidden: HashMap<VideoId, Vec<(NodeId, Interval)>>,
+    pub(crate) victims: Vec<VictimRecord>,
+    pub(crate) iterations: usize,
+    pub(crate) forced_fallbacks: usize,
+    monitor: OverflowMonitor,
+    pub(crate) cache: HashMap<VideoId, Vec<CachedTrial>>,
+    /// One [`LedgerDelta`] per commit, in commit order; cache entries
+    /// validate lazily against the suffix that landed after their epoch.
+    pub(crate) deltas: Vec<LedgerDelta>,
+    pub(crate) trials_run: usize,
+    pub(crate) trials_cached: usize,
+    pub(crate) nodes_rescanned: usize,
+    pub(crate) initial_cost: Dollars,
+}
+
+impl SolveState {
+    /// Fresh state for one resolution pass: builds the occupancy ledger
+    /// from the priced schedule and seeds the immutable external
+    /// occupancy.
+    pub(crate) fn new(
+        ctx: &SchedCtx<'_>,
+        priced: PricedSchedule,
+        cfg: &SorpConfig,
+        external: &[(NodeId, SpaceProfile)],
+    ) -> Self {
+        let initial_cost = priced.total();
+        let mut ledger = StorageLedger::from_schedule(ctx.topo, ctx.catalog, priced.schedule());
+        if cfg.use_reference_ledger {
+            ledger.set_mode(LedgerMode::Reference);
+        }
+        for (loc, profile) in external {
+            ledger.add(*loc, EXTERNAL_OCCUPANCY, *profile);
+        }
+        Self {
+            priced,
+            ledger,
+            forbidden: HashMap::new(),
+            victims: Vec::new(),
+            iterations: 0,
+            forced_fallbacks: 0,
+            monitor: OverflowMonitor::new(),
+            cache: HashMap::new(),
+            deltas: Vec::new(),
+            trials_run: 0,
+            trials_cached: 0,
+            nodes_rescanned: 0,
+            initial_cost,
+        }
+    }
+
+    /// Run the heat-driven resolution loop to an overflow-free fixpoint
+    /// (or through the fallback past the iteration cap). Idempotent: a
+    /// second call on an already-resolved state detects no overflows and
+    /// returns immediately — which is how the sharded path's global pass
+    /// degenerates to a no-op when the shards never conflicted.
+    pub(crate) fn resolve(&mut self, ctx: &SchedCtx<'_>, cfg: &SorpConfig, mode: ExecMode) {
+        let cached = !cfg.use_uncached_solver;
+        let cap = self.iterations + cfg.max_iterations;
+        loop {
+            let overflows = if cached {
+                let ofs = self.monitor.refresh(ctx.topo, &self.ledger);
+                self.nodes_rescanned += self.monitor.nodes_rescanned();
+                ofs
+            } else {
+                self.nodes_rescanned +=
+                    ctx.topo.storages().filter(|&l| ctx.topo.capacity(l).is_finite()).count();
+                detect_overflows(ctx.topo, &self.ledger)
+            };
+            if overflows.is_empty() {
+                break;
+            }
+            if self.iterations >= cap {
+                // Fallback: force one participant of the first overflow to
+                // direct-only delivery. Strictly reduces stored bytes, so
+                // this loop tail terminates.
+                let of = &overflows[0];
+                let set = overflow_set(self.priced.schedule(), ctx.catalog, of);
+                let Some(victim) = set.first() else {
+                    break; // purely external overflow: unresolvable
+                };
+                let vid = victim.video;
+                let old =
+                    self.priced.schedule().video(vid).expect("victim video is scheduled").clone();
+                let new_vs = force_direct(ctx, &old);
+                let mut delta = LedgerDelta::new();
+                commit(ctx, &mut self.priced, &mut self.ledger, new_vs, &mut delta);
+                if cached {
+                    self.deltas.push(delta);
+                }
+                self.forced_fallbacks += 1;
+                continue;
+            }
+            self.iterations += 1;
+
+            // Materialize every overflow participant's trial in scan order.
+            let mut jobs: Vec<TrialJob> = Vec::new();
+            for (of_idx, of) in overflows.iter().enumerate() {
+                for c in overflow_set(self.priced.schedule(), ctx.catalog, of) {
+                    let vid = c.video;
+                    let old_vs =
+                        self.priced.schedule().video(vid).expect("resident video is scheduled");
+                    let requests = old_vs.delivered_requests();
+                    if requests.is_empty() {
+                        continue; // residency without deliveries cannot occur
+                    }
+                    let mut bans = self.forbidden.get(&vid).cloned().unwrap_or_default();
+                    bans.push((of.loc, of.window));
+                    let profile = c.profile(ctx.catalog.get(vid));
+                    let old_cost =
+                        self.priced.video_cost(vid).expect("every scheduled video is in the memo");
+                    jobs.push(TrialJob { of_idx, vid, requests, bans, profile, old_cost });
+                }
+            }
+
+            // Score every job, then reduce sequentially in job order. The
+            // heat inputs that are cheap and iteration-local (the overflow,
+            // the participant's profile, the memoized current cost) are
+            // always read fresh; only the greedy's output is memoized.
+            let (ji, heat, overhead, new_vs) = if cached {
+                // Pull each job's trial out of the cache where a memoized
+                // one still replays under the job's bans and the current
+                // ledger.
+                let mut slots: Vec<Option<CachedTrial>> = jobs
+                    .iter()
+                    .map(|job| take_cached(&mut self.cache, job, &self.deltas, ctx, &self.ledger))
+                    .collect();
+                let miss_idx: Vec<usize> =
+                    (0..jobs.len()).filter(|&ji| slots[ji].is_none()).collect();
+                self.trials_run += miss_idx.len();
+                self.trials_cached += jobs.len() - miss_idx.len();
+
+                // Fan out only the cache misses: each is a pure function of
+                // its job, the (frozen) ledger, and the context, and carries
+                // its dependency trace home for future lookups.
+                let (ledger, deltas) = (&self.ledger, &self.deltas);
+                let fresh = map_with_mode(mode, &miss_idx, |&ji| {
+                    let job = &jobs[ji];
+                    let cons = Constraints { ledger, exclude: Some(job.vid), forbidden: &job.bans };
+                    let (new_vs, trace) =
+                        reschedule_video_traced_with(ctx, &job.requests, &cons, cfg.policy);
+                    let new_cost = ctx.video_cost(&new_vs);
+                    CachedTrial {
+                        new_vs,
+                        new_cost,
+                        bans: job.bans.clone(),
+                        trace,
+                        epoch: deltas.len(),
+                    }
+                });
+                for (&ji, trial) in miss_idx.iter().zip(fresh) {
+                    slots[ji] = Some(trial);
+                }
+
+                let scored: Vec<(f64, Dollars)> = jobs
+                    .iter()
+                    .enumerate()
+                    .map(|(ji, job)| {
+                        let entry = slots[ji].as_ref().expect("every job holds a trial by now");
+                        let overhead = entry.new_cost - job.old_cost;
+                        (
+                            heat_of(cfg.metric, &overflows[job.of_idx], &job.profile, overhead),
+                            overhead,
+                        )
+                    })
+                    .collect();
+                let Some((heat, overhead, ji)) = select_victim(&jobs, &overflows, &scored) else {
+                    break; // purely external overflows: nothing to reschedule
+                };
+                let winner = slots[ji].take().expect("the winning trial is held in its slot");
+                // Bank every non-winning trial for later iterations, in job
+                // order.
+                for (j, slot) in slots.into_iter().enumerate() {
+                    if let Some(trial) = slot {
+                        bank_trial(&mut self.cache, jobs[j].vid, trial);
+                    }
+                }
+                (ji, heat, overhead, winner.new_vs)
+            } else {
+                // The pre-cache oracle: re-run every participant's trial.
+                self.trials_run += jobs.len();
+                let ledger = &self.ledger;
+                let mut trials = map_with_mode(mode, &jobs, |job| {
+                    let cons = Constraints { ledger, exclude: Some(job.vid), forbidden: &job.bans };
+                    let new_vs = reschedule_video_with(ctx, &job.requests, &cons, cfg.policy);
+                    let overhead = ctx.video_cost(&new_vs) - job.old_cost;
+                    let heat = heat_of(cfg.metric, &overflows[job.of_idx], &job.profile, overhead);
+                    (heat, overhead, new_vs)
+                });
+                let scored: Vec<(f64, Dollars)> = trials.iter().map(|&(h, o, _)| (h, o)).collect();
+                let Some((heat, overhead, ji)) = select_victim(&jobs, &overflows, &scored) else {
+                    break; // purely external overflows: nothing to reschedule
+                };
+                (ji, heat, overhead, trials.swap_remove(ji).2)
+            };
+
+            let (vid, of) = (jobs[ji].vid, &overflows[jobs[ji].of_idx]);
+            self.forbidden.entry(vid).or_default().push((of.loc, of.window));
+            self.victims.push(VictimRecord {
+                video: vid,
+                loc: of.loc,
+                window_start: of.window.start,
+                window_end: of.window.end,
+                overhead,
+                heat,
+            });
+            let mut delta = LedgerDelta::new();
+            commit(ctx, &mut self.priced, &mut self.ledger, new_vs, &mut delta);
+            if cached {
+                self.deltas.push(delta);
+            }
+        }
+    }
+
+    /// Transplant another pass's surviving trial-cache entries and bans
+    /// into this state — the cross-shard handover. Entries arrive with
+    /// `epoch = 0`, so every one lazily re-validates against `deltas[0]`
+    /// (the merged occupancy footprint of all *other* shards recorded by
+    /// the caller) before its first reuse: an entry whose recorded
+    /// admission answers survive the foreign occupancy replays verbatim
+    /// and is reused without re-running the greedy; one that conflicts
+    /// is evicted by the standard lookup path. Bans are appended in call
+    /// order (deterministic across runs).
+    pub(crate) fn adopt(
+        &mut self,
+        cache: HashMap<VideoId, Vec<CachedTrial>>,
+        forbidden: HashMap<VideoId, Vec<(NodeId, Interval)>>,
+    ) -> usize {
+        let mut transplanted = 0;
+        for (vid, mut list) in cache {
+            for e in &mut list {
+                e.epoch = 0;
+            }
+            transplanted += list.len();
+            self.cache.entry(vid).or_default().extend(list);
+        }
+        for (vid, bans) in forbidden {
+            self.forbidden.entry(vid).or_default().extend(bans);
+        }
+        transplanted
+    }
+
+    /// Finish the pass: cross-check the delta accounting once, re-detect
+    /// overflows from scratch, and package the outcome.
+    pub(crate) fn into_outcome(self, ctx: &SchedCtx<'_>) -> SorpOutcome {
+        // The running total *is* the final cost; cross-check the delta
+        // accounting against the closed form once, outside the loop.
+        debug_assert!(self.priced.consistent_with(ctx), "SORP left an inconsistent pricing memo");
+        let cost = self.priced.total();
+        let overflow_free = detect_overflows(ctx.topo, &self.ledger).is_empty();
+        SorpOutcome {
+            schedule: self.priced.into_schedule(),
+            cost,
+            initial_cost: self.initial_cost,
+            iterations: self.iterations,
+            victims: self.victims,
+            overflow_free,
+            forced_fallbacks: self.forced_fallbacks,
+            trials_run: self.trials_run,
+            trials_cached: self.trials_cached,
+            nodes_rescanned: self.nodes_rescanned,
+        }
+    }
+}
+
 /// The full-control SORP entry point: resolve overflows on an
 /// already-priced schedule, under an explicit [`ExecMode`].
 ///
@@ -422,191 +711,14 @@ fn select_victim(
 /// performs a full `schedule_cost` recompute inside the loop.
 pub fn sorp_solve_priced(
     ctx: &SchedCtx<'_>,
-    mut priced: PricedSchedule,
+    priced: PricedSchedule,
     cfg: &SorpConfig,
     external: &[(NodeId, SpaceProfile)],
     mode: ExecMode,
 ) -> SorpOutcome {
-    let initial_cost = priced.total();
-    let mut ledger = StorageLedger::from_schedule(ctx.topo, ctx.catalog, priced.schedule());
-    if cfg.use_reference_ledger {
-        ledger.set_mode(LedgerMode::Reference);
-    }
-    for (loc, profile) in external {
-        ledger.add(*loc, EXTERNAL_OCCUPANCY, *profile);
-    }
-    let mut forbidden: HashMap<VideoId, Vec<(NodeId, Interval)>> = HashMap::new();
-    let mut victims = Vec::new();
-    let mut iterations = 0usize;
-    let mut forced_fallbacks = 0usize;
-
-    let cached = !cfg.use_uncached_solver;
-    let mut monitor = OverflowMonitor::new();
-    let mut cache: HashMap<VideoId, Vec<CachedTrial>> = HashMap::new();
-    // One LedgerDelta per commit, in commit order; cache entries validate
-    // lazily against the suffix that landed after their epoch.
-    let mut deltas: Vec<LedgerDelta> = Vec::new();
-    let mut trials_run = 0usize;
-    let mut trials_cached = 0usize;
-    let mut nodes_rescanned = 0usize;
-
-    loop {
-        let overflows = if cached {
-            let ofs = monitor.refresh(ctx.topo, &ledger);
-            nodes_rescanned += monitor.nodes_rescanned();
-            ofs
-        } else {
-            nodes_rescanned +=
-                ctx.topo.storages().filter(|&l| ctx.topo.capacity(l).is_finite()).count();
-            detect_overflows(ctx.topo, &ledger)
-        };
-        if overflows.is_empty() {
-            break;
-        }
-        if iterations >= cfg.max_iterations {
-            // Fallback: force one participant of the first overflow to
-            // direct-only delivery. Strictly reduces stored bytes, so this
-            // loop tail terminates.
-            let of = &overflows[0];
-            let set = overflow_set(priced.schedule(), ctx.catalog, of);
-            let Some(victim) = set.first() else {
-                break; // purely external overflow: unresolvable
-            };
-            let vid = victim.video;
-            let old = priced.schedule().video(vid).expect("victim video is scheduled").clone();
-            let new_vs = force_direct(ctx, &old);
-            let mut delta = LedgerDelta::new();
-            commit(ctx, &mut priced, &mut ledger, new_vs, &mut delta);
-            if cached {
-                deltas.push(delta);
-            }
-            forced_fallbacks += 1;
-            continue;
-        }
-        iterations += 1;
-
-        // Materialize every overflow participant's trial in scan order.
-        let mut jobs: Vec<TrialJob> = Vec::new();
-        for (of_idx, of) in overflows.iter().enumerate() {
-            for c in overflow_set(priced.schedule(), ctx.catalog, of) {
-                let vid = c.video;
-                let old_vs = priced.schedule().video(vid).expect("resident video is scheduled");
-                let requests = old_vs.delivered_requests();
-                if requests.is_empty() {
-                    continue; // residency without deliveries cannot occur
-                }
-                let mut bans = forbidden.get(&vid).cloned().unwrap_or_default();
-                bans.push((of.loc, of.window));
-                let profile = c.profile(ctx.catalog.get(vid));
-                let old_cost =
-                    priced.video_cost(vid).expect("every scheduled video is in the memo");
-                jobs.push(TrialJob { of_idx, vid, requests, bans, profile, old_cost });
-            }
-        }
-
-        // Score every job, then reduce sequentially in job order. The
-        // heat inputs that are cheap and iteration-local (the overflow,
-        // the participant's profile, the memoized current cost) are
-        // always read fresh; only the greedy's output is memoized.
-        let (ji, heat, overhead, new_vs) = if cached {
-            // Pull each job's trial out of the cache where a memoized one
-            // still replays under the job's bans and the current ledger.
-            let mut slots: Vec<Option<CachedTrial>> = jobs
-                .iter()
-                .map(|job| take_cached(&mut cache, job, &deltas, ctx, &ledger))
-                .collect();
-            let miss_idx: Vec<usize> = (0..jobs.len()).filter(|&ji| slots[ji].is_none()).collect();
-            trials_run += miss_idx.len();
-            trials_cached += jobs.len() - miss_idx.len();
-
-            // Fan out only the cache misses: each is a pure function of
-            // its job, the (frozen) ledger, and the context, and carries
-            // its dependency trace home for future lookups.
-            let fresh = map_with_mode(mode, &miss_idx, |&ji| {
-                let job = &jobs[ji];
-                let cons =
-                    Constraints { ledger: &ledger, exclude: Some(job.vid), forbidden: &job.bans };
-                let (new_vs, trace) = reschedule_video_traced(ctx, &job.requests, &cons);
-                let new_cost = ctx.video_cost(&new_vs);
-                CachedTrial { new_vs, new_cost, bans: job.bans.clone(), trace, epoch: deltas.len() }
-            });
-            for (&ji, trial) in miss_idx.iter().zip(fresh) {
-                slots[ji] = Some(trial);
-            }
-
-            let scored: Vec<(f64, Dollars)> = jobs
-                .iter()
-                .enumerate()
-                .map(|(ji, job)| {
-                    let entry = slots[ji].as_ref().expect("every job holds a trial by now");
-                    let overhead = entry.new_cost - job.old_cost;
-                    (heat_of(cfg.metric, &overflows[job.of_idx], &job.profile, overhead), overhead)
-                })
-                .collect();
-            let Some((heat, overhead, ji)) = select_victim(&jobs, &overflows, &scored) else {
-                break; // purely external overflows: nothing to reschedule
-            };
-            let winner = slots[ji].take().expect("the winning trial is held in its slot");
-            // Bank every non-winning trial for later iterations, in job
-            // order.
-            for (j, slot) in slots.into_iter().enumerate() {
-                if let Some(trial) = slot {
-                    bank_trial(&mut cache, jobs[j].vid, trial);
-                }
-            }
-            (ji, heat, overhead, winner.new_vs)
-        } else {
-            // The pre-cache oracle: re-run every participant's trial.
-            trials_run += jobs.len();
-            let mut trials = map_with_mode(mode, &jobs, |job| {
-                let cons =
-                    Constraints { ledger: &ledger, exclude: Some(job.vid), forbidden: &job.bans };
-                let new_vs = reschedule_video(ctx, &job.requests, &cons);
-                let overhead = ctx.video_cost(&new_vs) - job.old_cost;
-                let heat = heat_of(cfg.metric, &overflows[job.of_idx], &job.profile, overhead);
-                (heat, overhead, new_vs)
-            });
-            let scored: Vec<(f64, Dollars)> = trials.iter().map(|&(h, o, _)| (h, o)).collect();
-            let Some((heat, overhead, ji)) = select_victim(&jobs, &overflows, &scored) else {
-                break; // purely external overflows: nothing to reschedule
-            };
-            (ji, heat, overhead, trials.swap_remove(ji).2)
-        };
-
-        let (vid, of) = (jobs[ji].vid, &overflows[jobs[ji].of_idx]);
-        forbidden.entry(vid).or_default().push((of.loc, of.window));
-        victims.push(VictimRecord {
-            video: vid,
-            loc: of.loc,
-            window_start: of.window.start,
-            window_end: of.window.end,
-            overhead,
-            heat,
-        });
-        let mut delta = LedgerDelta::new();
-        commit(ctx, &mut priced, &mut ledger, new_vs, &mut delta);
-        if cached {
-            deltas.push(delta);
-        }
-    }
-
-    // The running total *is* the final cost; cross-check the delta
-    // accounting against the closed form once, outside the loop.
-    debug_assert!(priced.consistent_with(ctx), "SORP left an inconsistent pricing memo");
-    let cost = priced.total();
-    let overflow_free = detect_overflows(ctx.topo, &ledger).is_empty();
-    SorpOutcome {
-        schedule: priced.into_schedule(),
-        cost,
-        initial_cost,
-        iterations,
-        victims,
-        overflow_free,
-        forced_fallbacks,
-        trials_run,
-        trials_cached,
-        nodes_rescanned,
-    }
+    let mut state = SolveState::new(ctx, priced, cfg, external);
+    state.resolve(ctx, cfg, mode);
+    state.into_outcome(ctx)
 }
 
 /// Replace a video's schedule, updating ledger and pricing incrementally:

@@ -1,0 +1,202 @@
+//! Property tests for the sharded scheduler: feasibility must be
+//! invariant in the shard count and strategy, the shard merge must
+//! conserve request accounting exactly, one shard must coincide
+//! bit-for-bit with the monolithic solver, and in the regional regime
+//! (region shards + neighborhood-local policy + region-unique videos)
+//! the sharded Ψ must equal the monolithic Ψ within 1e-9 relative.
+
+use proptest::prelude::*;
+use vod_core::{
+    detect_overflows, shard_solve, GreedyPolicy, SchedCtx, ShardConfig, SorpConfig, StorageLedger,
+};
+use vod_cost_model::{CostModel, RequestBatch};
+use vod_topology::{builders, Topology};
+use vod_workload::{
+    generate_catalog, generate_regional_requests, partition_requests, CatalogConfig, RequestConfig,
+    ShardSpec, ShardStrategy, Workload,
+};
+
+/// A random sharded-scheduling scenario.
+#[derive(Clone, Debug)]
+struct Scenario {
+    workload_seed: u64,
+    partition_seed: u64,
+    capacity_gb: f64,
+    shards: usize,
+    by_region: bool,
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (
+        0u64..1_000,
+        0u64..1_000,
+        prop_oneof![Just(4.0), Just(5.0), Just(10_000.0)],
+        1usize..6,
+        any::<bool>(),
+    )
+        .prop_map(|(workload_seed, partition_seed, capacity_gb, shards, by_region)| Scenario {
+            workload_seed,
+            partition_seed,
+            capacity_gb,
+            shards,
+            by_region,
+        })
+}
+
+fn build(s: &Scenario) -> (Topology, Workload, ShardConfig) {
+    let cfg = builders::PaperFig4Config { capacity_gb: s.capacity_gb, ..Default::default() };
+    let topo = builders::paper_fig4(&cfg);
+    let wl = Workload::generate(
+        &topo,
+        &CatalogConfig::small(24),
+        &RequestConfig::paper(),
+        s.workload_seed,
+    );
+    let strategy = if s.by_region { ShardStrategy::ByRegion } else { ShardStrategy::ByTimeSlice };
+    let shard_cfg = ShardConfig {
+        shards: s.shards,
+        strategy,
+        seed: s.partition_seed,
+        sorp: SorpConfig::default(),
+    };
+    (topo, wl, shard_cfg)
+}
+
+fn delivered_multiset(schedule: &vod_cost_model::Schedule) -> Vec<(u32, u32, u64)> {
+    let mut v: Vec<(u32, u32, u64)> = schedule
+        .videos()
+        .flat_map(|vs| {
+            vs.delivered_requests()
+                .into_iter()
+                .map(move |r| (r.user.0, vs.video.0, r.start.to_bits()))
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn batch_multiset(batch: &RequestBatch) -> Vec<(u32, u32, u64)> {
+    let mut v: Vec<(u32, u32, u64)> =
+        batch.iter().map(|r| (r.user.0, r.video.0, r.start.to_bits())).collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Whatever the shard count or strategy, the reconciled schedule
+    /// serves every request of the original batch (exact multiset) and
+    /// respects every storage capacity — re-checked from a from-scratch
+    /// ledger, not the solver's own bookkeeping. A second run is
+    /// bit-identical.
+    #[test]
+    fn feasibility_is_shard_count_invariant(s in scenario_strategy()) {
+        let (topo, wl, cfg) = build(&s);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
+        let out = shard_solve(&ctx, &wl.requests, &cfg, vod_core::ExecMode::Sequential);
+
+        prop_assert!(out.sorp.overflow_free, "reconciliation left overflows");
+        prop_assert_eq!(
+            delivered_multiset(&out.sorp.schedule),
+            batch_multiset(&wl.requests),
+            "delivered requests diverged from the batch"
+        );
+        let ledger = StorageLedger::from_schedule(&topo, &wl.catalog, &out.sorp.schedule);
+        let overflows = detect_overflows(&topo, &ledger);
+        prop_assert!(overflows.is_empty(), "independent re-check found overflows: {overflows:?}");
+
+        let again = shard_solve(&ctx, &wl.requests, &cfg, vod_core::ExecMode::Sequential);
+        prop_assert_eq!(&out.sorp.schedule, &again.sorp.schedule, "sharded solve not deterministic");
+        prop_assert_eq!(out.sorp.cost.to_bits(), again.sorp.cost.to_bits());
+    }
+
+    /// The partition itself conserves requests: shard sizes sum to the
+    /// batch size and the shard union is the exact multiset of the batch
+    /// — the accounting the merge inherits.
+    #[test]
+    fn partition_conserves_request_accounting(s in scenario_strategy()) {
+        let (topo, wl, cfg) = build(&s);
+        let spec = ShardSpec { shards: cfg.shards, strategy: cfg.strategy, seed: cfg.seed };
+        let parts = partition_requests(&topo, &wl.requests, &spec);
+        prop_assert!(!parts.is_empty() && parts.len() <= cfg.shards.max(1));
+        prop_assert_eq!(
+            parts.iter().map(|p| p.len()).sum::<usize>(),
+            wl.requests.len(),
+            "shard sizes do not sum to the batch"
+        );
+        let mut union: Vec<(u32, u32, u64)> =
+            parts.iter().flat_map(|p| batch_multiset(p)).collect();
+        union.sort_unstable();
+        prop_assert_eq!(union, batch_multiset(&wl.requests), "shard union lost or duplicated requests");
+    }
+
+    /// One shard takes the monolithic code path exactly: schedule, cost
+    /// bits, iteration count, and victim sequence all coincide with the
+    /// `use_monolithic_solver` oracle.
+    #[test]
+    fn one_shard_is_bit_identical_to_monolithic(s in scenario_strategy()) {
+        let (topo, wl, mut cfg) = build(&s);
+        cfg.shards = 1;
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
+        let sharded = shard_solve(&ctx, &wl.requests, &cfg, vod_core::ExecMode::Sequential);
+        let mono_cfg = ShardConfig {
+            sorp: SorpConfig { use_monolithic_solver: true, ..cfg.sorp.clone() },
+            ..cfg
+        };
+        let mono = shard_solve(&ctx, &wl.requests, &mono_cfg, vod_core::ExecMode::Sequential);
+        prop_assert_eq!(&sharded.sorp.schedule, &mono.sorp.schedule);
+        prop_assert_eq!(sharded.sorp.cost.to_bits(), mono.sorp.cost.to_bits());
+        prop_assert_eq!(sharded.sorp.iterations, mono.sorp.iterations);
+        prop_assert_eq!(sharded.sorp.victims.len(), mono.sorp.victims.len());
+        prop_assert_eq!(sharded.sorp.forced_fallbacks, mono.sorp.forced_fallbacks);
+    }
+
+    /// The regional regime: region shards, neighborhood-local policy,
+    /// region-unique catalog slices. The sharded and monolithic solvers
+    /// must produce the same schedule and a total Ψ within 1e-9
+    /// relative.
+    #[test]
+    fn regional_regime_psi_matches_monolithic(
+        workload_seed in 0u64..1_000,
+        shards in 2usize..7,
+        capacity_gb in prop_oneof![Just(5.0), Just(10_000.0)],
+    ) {
+        let topo = builders::paper_fig4(
+            &builders::PaperFig4Config { capacity_gb, ..Default::default() },
+        );
+        let catalog = generate_catalog(&CatalogConfig::small(95), workload_seed);
+        let requests = generate_regional_requests(
+            &topo,
+            &catalog,
+            &RequestConfig::paper(),
+            workload_seed,
+        );
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+        let sorp = SorpConfig {
+            policy: GreedyPolicy { allow_remote_placement: false, ..GreedyPolicy::default() },
+            ..SorpConfig::default()
+        };
+        let cfg = ShardConfig {
+            shards,
+            strategy: ShardStrategy::ByRegion,
+            seed: workload_seed,
+            sorp: sorp.clone(),
+        };
+        let sharded = shard_solve(&ctx, &requests, &cfg, vod_core::ExecMode::Sequential);
+        let mono_cfg = ShardConfig {
+            sorp: SorpConfig { use_monolithic_solver: true, ..sorp },
+            ..cfg
+        };
+        let mono = shard_solve(&ctx, &requests, &mono_cfg, vod_core::ExecMode::Sequential);
+        prop_assert!(sharded.sorp.overflow_free && mono.sorp.overflow_free);
+        prop_assert_eq!(sharded.split_videos, 0, "regional workload must never split a video");
+        prop_assert_eq!(&sharded.sorp.schedule, &mono.sorp.schedule, "schedules diverged");
+        let rel = (sharded.sorp.cost - mono.sorp.cost).abs() / mono.sorp.cost.abs().max(1.0);
+        prop_assert!(rel <= 1e-9, "Ψ {} vs monolithic {} (rel {rel:e})",
+            sharded.sorp.cost, mono.sorp.cost);
+    }
+}

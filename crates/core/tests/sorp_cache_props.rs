@@ -91,6 +91,7 @@ fn solve(ctx: &SchedCtx<'_>, wl: &Workload, s: &Scenario, uncached: bool) -> Sor
         max_iterations: s.max_iterations,
         use_reference_ledger: s.reference_ledger,
         use_uncached_solver: uncached,
+        ..Default::default()
     };
     let mode = if s.parallel { ExecMode::Parallel } else { ExecMode::Sequential };
     sorp_solve_priced(ctx, ivsp_solve_priced(ctx, &wl.requests), &cfg, &[], mode)

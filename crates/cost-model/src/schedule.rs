@@ -241,6 +241,13 @@ impl Schedule {
     pub fn delivery_count(&self) -> usize {
         self.videos.iter().map(|v| v.delivery_count()).sum()
     }
+
+    /// Consume the schedule into its per-video schedules, in video-id
+    /// order — the shard-merge path takes ownership of each shard's
+    /// partial schedules without cloning transfers or residencies.
+    pub fn into_videos(self) -> Vec<VideoSchedule> {
+        self.videos
+    }
 }
 
 impl FromIterator<VideoSchedule> for Schedule {

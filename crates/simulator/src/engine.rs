@@ -1,7 +1,7 @@
 //! The replay engine: expands a schedule into events, replays them while
 //! tracking resources, and cross-checks the cost model.
 
-use crate::event::{Event, EventKind, EventQueue};
+use crate::event::{Event, EventKind, PendingQueue};
 use crate::report::{Metrics, SimReport, Violation};
 use crate::validate::{check_finite_times, structural_checks};
 use std::collections::HashMap;
@@ -125,69 +125,78 @@ pub fn simulate_with_faults(
         .collect();
 
     let faults = plan.faults();
-    let mut queue = EventQueue::new();
     let relay_points = residencies.iter().zip(&profiles).filter(|(_, p)| p.peak() == 0.0).count();
+    // Streaming replay: the queue is seeded with one *head* event per
+    // source (transfer, materialized residency, fault) and each source's
+    // remaining events are generated lazily as its predecessors pop —
+    // O(sources) heap instead of O(events), same pop order bit for bit
+    // (see [`PendingQueue`]).
+    //
     // A non-finite time anywhere would break the queue's ordering; the
     // offenders are already reported, so leave the queue empty and skip
     // the dynamic replay.
+    let mut seeds: Vec<Event> = Vec::new();
     if times_ok {
+        seeds.reserve(transfers.len() + residencies.len() - relay_points + faults.len());
         for (i, t) in transfers.iter().enumerate() {
-            let playback = catalog.get(t.video).playback;
-            queue.push(Event {
+            seeds.push(Event {
                 time: t.start,
                 video: t.video,
                 node: t.src(),
                 kind: EventKind::StreamStart { transfer: i },
-            });
-            queue.push(Event {
-                time: t.start + playback,
-                video: t.video,
-                node: t.src(),
-                kind: EventKind::StreamEnd { transfer: i },
             });
         }
         for (i, (r, p)) in residencies.iter().zip(&profiles).enumerate() {
             if p.peak() == 0.0 {
                 continue;
             }
-            queue.push(Event {
+            seeds.push(Event {
                 time: p.start,
                 video: r.video,
                 node: r.loc,
                 kind: EventKind::CacheFillStart { residency: i },
             });
-            if p.full > p.start {
-                queue.push(Event {
-                    time: p.full,
-                    video: r.video,
-                    node: r.loc,
-                    kind: EventKind::CacheFillComplete { residency: i },
-                });
-            }
-            queue.push(Event {
-                time: p.last,
-                video: r.video,
-                node: r.loc,
-                kind: EventKind::CacheDrainStart { residency: i },
-            });
-            queue.push(Event {
-                time: p.end,
-                video: r.video,
-                node: r.loc,
-                kind: EventKind::CacheDrainEnd { residency: i },
-            });
         }
         for (i, f) in faults.iter().enumerate() {
-            let (from, until) = f.window();
+            let (from, _) = f.window();
             let node = match *f {
                 Fault::NodeOutage { node, .. } => node,
                 Fault::LinkFailure { a, .. } | Fault::LinkDegraded { a, .. } => a,
             };
             let video = VideoId(0); // tracing only; the key's idx disambiguates
-            queue.push(Event { time: from, video, node, kind: EventKind::FaultStart { fault: i } });
-            queue.push(Event { time: until, video, node, kind: EventKind::FaultEnd { fault: i } });
+            seeds.push(Event { time: from, video, node, kind: EventKind::FaultStart { fault: i } });
         }
     }
+    let advance = |ev: &Event| -> Option<Event> {
+        let next = |time, kind| Some(Event { time, video: ev.video, node: ev.node, kind });
+        match ev.kind {
+            EventKind::StreamStart { transfer } => {
+                let t = transfers[transfer];
+                next(t.start + catalog.get(t.video).playback, EventKind::StreamEnd { transfer })
+            }
+            EventKind::CacheFillStart { residency } => {
+                let p = &profiles[residency];
+                if p.full > p.start {
+                    next(p.full, EventKind::CacheFillComplete { residency })
+                } else {
+                    next(p.last, EventKind::CacheDrainStart { residency })
+                }
+            }
+            EventKind::CacheFillComplete { residency } => {
+                next(profiles[residency].last, EventKind::CacheDrainStart { residency })
+            }
+            EventKind::CacheDrainStart { residency } => {
+                next(profiles[residency].end, EventKind::CacheDrainEnd { residency })
+            }
+            EventKind::FaultStart { fault } => {
+                next(faults[fault].window().1, EventKind::FaultEnd { fault })
+            }
+            EventKind::StreamEnd { .. }
+            | EventKind::CacheDrainEnd { .. }
+            | EventKind::FaultEnd { .. } => None,
+        }
+    };
+    let mut queue = PendingQueue::new(seeds, advance);
 
     // Replay state.
     let n = topo.node_count();

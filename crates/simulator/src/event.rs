@@ -146,6 +146,63 @@ impl EventQueue {
     }
 }
 
+/// A streaming event source over per-source *chains*.
+///
+/// The build-up-front replay materialized every event of every transfer,
+/// residency, and fault before popping the first one — an O(events)
+/// allocation and an O(events)-deep heap. Each source's events, however,
+/// form a fixed chain (`StreamStart → StreamEnd`; `CacheFillStart →
+/// [CacheFillComplete] → CacheDrainStart → CacheDrainEnd`; `FaultStart →
+/// FaultEnd`), so it suffices to keep **one pending event per source**:
+/// the queue is seeded with every chain's head, and popping an event
+/// re-arms its chain with the successor supplied by `advance`. The heap
+/// never holds more than one entry per source, and each event still
+/// costs O(log sources) — streaming, not batch.
+///
+/// **Order preservation.** The streamed pop sequence is bit-identical to
+/// sorting all events up front, because along every chain the times are
+/// non-decreasing *and* the deterministic key's discriminant strictly
+/// increases — so a chain's unpopped earliest event is always its
+/// pending head, and the heap's minimum over heads is the global
+/// minimum over all remaining events. `pop` debug-asserts the
+/// non-decreasing half of that contract on every advance.
+pub struct PendingQueue<F: FnMut(&Event) -> Option<Event>> {
+    queue: EventQueue,
+    advance: F,
+}
+
+impl<F: FnMut(&Event) -> Option<Event>> PendingQueue<F> {
+    /// Seed the queue with every chain's head event.
+    pub fn new(seeds: impl IntoIterator<Item = Event>, advance: F) -> Self {
+        let mut queue = EventQueue::new();
+        for e in seeds {
+            queue.push(e);
+        }
+        Self { queue, advance }
+    }
+
+    /// Pop the earliest pending event, re-arming its chain.
+    pub fn pop(&mut self) -> Option<Event> {
+        let ev = self.queue.pop()?;
+        if let Some(succ) = (self.advance)(&ev) {
+            debug_assert!(
+                succ.time >= ev.time,
+                "chain successor moved backwards: {} after {}",
+                succ.time,
+                ev.time
+            );
+            self.queue.push(succ);
+        }
+        Some(ev)
+    }
+
+    /// Number of chains still pending (≤ the number of sources, never
+    /// the total remaining event count).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,5 +265,68 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn non_finite_time_rejected() {
         EventQueue::new().push(ev(f64::NAN, EventKind::StreamStart { transfer: 0 }));
+    }
+
+    #[test]
+    fn streamed_pops_match_build_all_order() {
+        // Synthetic chains with colliding times: transfers i start at
+        // (i % 3) and end 2 s later; residencies fill at (i % 2), reach
+        // the plateau 1 s later, drain from 3 s, gone at 4 s.
+        let mk = |i: usize, time: f64, kind: EventKind| Event {
+            time,
+            video: VideoId((i % 4) as u32),
+            node: NodeId((i % 3) as u32),
+            kind,
+        };
+        let chains: Vec<Vec<Event>> = (0..8)
+            .map(|i| {
+                let t0 = (i % 3) as f64;
+                vec![
+                    mk(i, t0, EventKind::StreamStart { transfer: i }),
+                    mk(i, t0 + 2.0, EventKind::StreamEnd { transfer: i }),
+                ]
+            })
+            .chain((0..6).map(|i| {
+                let t0 = (i % 2) as f64;
+                vec![
+                    mk(i, t0, EventKind::CacheFillStart { residency: i }),
+                    mk(i, t0 + 1.0, EventKind::CacheFillComplete { residency: i }),
+                    mk(i, t0 + 3.0, EventKind::CacheDrainStart { residency: i }),
+                    mk(i, t0 + 4.0, EventKind::CacheDrainEnd { residency: i }),
+                ]
+            }))
+            .collect();
+
+        // Reference: push everything, pop everything.
+        let mut all = EventQueue::new();
+        for c in &chains {
+            for &e in c {
+                all.push(e);
+            }
+        }
+        let reference: Vec<(u64, EventKind)> =
+            std::iter::from_fn(|| all.pop()).map(|e| (e.time.to_bits(), e.kind)).collect();
+
+        // Streamed: seed heads, advance within each chain on pop.
+        let chains_ref = &chains;
+        let position = |e: &Event| -> (usize, usize) {
+            for (ci, c) in chains_ref.iter().enumerate() {
+                if let Some(pi) = c.iter().position(|x| x.kind == e.kind) {
+                    return (ci, pi);
+                }
+            }
+            unreachable!("event not from a chain")
+        };
+        let mut q = PendingQueue::new(chains.iter().map(|c| c[0]), |e| {
+            let (ci, pi) = position(e);
+            chains_ref[ci].get(pi + 1).copied()
+        });
+        let sources = chains.len();
+        let mut streamed = Vec::new();
+        while let Some(e) = q.pop() {
+            assert!(q.pending() <= sources, "pending exceeded one entry per source");
+            streamed.push((e.time.to_bits(), e.kind));
+        }
+        assert_eq!(streamed, reference, "streaming reordered the replay");
     }
 }

@@ -61,7 +61,7 @@ mod report;
 mod validate;
 
 pub use engine::{simulate, simulate_with_faults, SimOptions};
-pub use event::{Event, EventKind, EventQueue};
+pub use event::{Event, EventKind, EventQueue, PendingQueue};
 pub use report::{Metrics, SimReport, Violation};
 // Re-exported so replay callers can build fault plans without a separate
 // dependency on the fault-model crate.

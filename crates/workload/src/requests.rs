@@ -94,6 +94,65 @@ pub fn generate_requests(
     RequestBatch::new(requests)
 }
 
+/// Generate a batch in which every neighborhood requests only from its
+/// own contiguous slice of the catalog — a **regional catalog**
+/// workload.
+///
+/// The catalog is cut into `⌊titles / populated-neighborhoods⌋`-sized
+/// slices, one per intermediate storage that hosts users (in node-id
+/// order); each user samples Zipf ranks *within their home slice*.
+/// Consequently every video is requested from exactly one neighborhood,
+/// which is the regime where region-sharded scheduling under a
+/// neighborhood-local placement policy decomposes exactly: the sharded
+/// solver's Ψ matches the monolithic solver's up to float summation
+/// order (see `vod-core`'s shard module for the full contract). Leftover
+/// titles beyond the last full slice are never requested.
+///
+/// Arrival times follow `cfg.arrivals` exactly as in
+/// [`generate_requests`].
+pub fn generate_regional_requests(
+    topo: &Topology,
+    catalog: &Catalog,
+    cfg: &RequestConfig,
+    seed: u64,
+) -> RequestBatch {
+    assert!(cfg.horizon_hours > 0.0, "horizon must be positive");
+
+    // Populated neighborhoods in node-id order (storages() is sorted).
+    let regions: Vec<_> = topo.storages().filter(|&is| !topo.users_at(is).is_empty()).collect();
+    assert!(!regions.is_empty(), "topology has no populated neighborhoods");
+    let per = catalog.len() / regions.len();
+    assert!(
+        per >= 1,
+        "catalog of {} titles cannot cover {} neighborhoods",
+        catalog.len(),
+        regions.len()
+    );
+    let region_of = |is: vod_topology::NodeId| -> usize {
+        regions.iter().position(|&r| r == is).expect("user home is a populated storage")
+    };
+
+    let mut rng = SplitMix64::new(seed);
+    let zipf = Zipf::new(per, cfg.zipf_alpha);
+    let horizon = cfg.horizon_hours * 3_600.0;
+
+    let mut requests = Vec::with_capacity(topo.user_count() * cfg.requests_per_user);
+    for user in topo.users() {
+        let base = region_of(topo.home_of(user.id)) * per;
+        for _ in 0..cfg.requests_per_user {
+            let video = VideoId((base + zipf.sample(&mut rng)) as u32);
+            let start = match cfg.arrivals {
+                ArrivalPattern::Uniform => rng.range_f64(0.0, horizon),
+                ArrivalPattern::Peak { peak_fraction } => {
+                    sample_triangular(&mut rng, horizon, peak_fraction.clamp(0.0, 1.0))
+                }
+            };
+            requests.push(Request { user: user.id, video, start });
+        }
+    }
+    RequestBatch::new(requests)
+}
+
 /// Triangular distribution on `[0, horizon]` with mode at
 /// `peak_fraction · horizon` (inverse-CDF sampling).
 fn sample_triangular(rng: &mut SplitMix64, horizon: f64, peak_fraction: f64) -> f64 {
@@ -197,6 +256,39 @@ mod tests {
         let c = generate_requests(&topo, &catalog, &RequestConfig::paper(), 22);
         let vc: Vec<_> = c.iter().map(|r| (r.user, r.video, r.start)).collect();
         assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn regional_requests_are_region_unique() {
+        let (topo, catalog) = setup();
+        let cfg = RequestConfig { requests_per_user: 4, ..RequestConfig::paper() };
+        let batch = generate_regional_requests(&topo, &catalog, &cfg, 17);
+        assert_eq!(batch.len(), topo.user_count() * 4);
+        // Every video is requested from exactly one neighborhood.
+        let mut owner = std::collections::HashMap::new();
+        for r in batch.iter() {
+            let home = topo.home_of(r.user);
+            assert_eq!(
+                *owner.entry(r.video).or_insert(home),
+                home,
+                "video {:?} requested from two neighborhoods",
+                r.video
+            );
+            assert!(r.video.index() < catalog.len());
+        }
+        // Deterministic per seed.
+        let again = generate_regional_requests(&topo, &catalog, &cfg, 17);
+        let va: Vec<_> = batch.iter().map(|r| (r.user, r.video, r.start)).collect();
+        let vb: Vec<_> = again.iter().map(|r| (r.user, r.video, r.start)).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cover")]
+    fn regional_requests_need_enough_titles() {
+        let topo = paper_fig4(&PaperFig4Config::default());
+        let catalog = generate_catalog(&CatalogConfig::small(5), 1);
+        generate_regional_requests(&topo, &catalog, &RequestConfig::paper(), 0);
     }
 
     #[test]

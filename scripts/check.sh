@@ -22,6 +22,12 @@ cargo bench --offline -p vod-bench --bench repair_latency -- --test
 echo "==> bench smoke run (sorp_scaling --test)"
 cargo bench --offline -p vod-bench --bench sorp_scaling -- --test
 
+echo "==> bench smoke run (sorp_sharded --test)"
+cargo bench --offline -p vod-bench --bench sorp_sharded -- --test
+
+echo "==> sharded-scheduler property suite"
+cargo test -q --offline -p vod-core --test shard_props
+
 echo "==> fault-injection suite"
 cargo test -q --offline -p vod-faults
 cargo test -q --offline -p vod-core repair
