@@ -332,6 +332,54 @@ impl StorageLedger {
         }
     }
 
+    /// Drop only the profiles of `video` at `loc` that have fully
+    /// drained by time `t` (`end ≤ t`), keeping live ones — the
+    /// rolling-horizon eviction of spilled-over occupancy from earlier
+    /// cycles. Returns the number of profiles dropped. Same bookkeeping
+    /// as [`StorageLedger::remove`], including the plateau-sum clamp
+    /// when the node empties.
+    pub fn remove_drained(&mut self, loc: NodeId, video: VideoId, t: Secs) -> usize {
+        let i = loc.index();
+        let (timeline, plateau_sum) = (&mut self.timelines[i], &mut self.plateau_sum[i]);
+        let before = self.entries[i].len();
+        self.entries[i].retain(|(v, p)| {
+            if *v != video || p.end > t {
+                return true;
+            }
+            for d in &p.slope_deltas() {
+                timeline.remove(d.t, d.jump, d.slope);
+            }
+            *plateau_sum -= p.peak();
+            false
+        });
+        if self.entries[i].is_empty() {
+            // Clamp float drift: an empty node occupies exactly nothing.
+            *plateau_sum = 0.0;
+            debug_assert!(timeline.is_empty());
+        }
+        before - self.entries[i].len()
+    }
+
+    /// The recorded `(video, profile)` entries at `loc`, in insertion
+    /// order.
+    pub fn profiles_at(&self, loc: NodeId) -> &[(VideoId, SpaceProfile)] {
+        &self.entries[loc.index()]
+    }
+
+    /// A [`LedgerDelta`] covering every recorded profile's support, one
+    /// unioned span per occupied node — the "everything this ledger
+    /// holds" footprint a cross-cycle warm start validates carried trial
+    /// caches against.
+    pub fn span_delta(&self) -> LedgerDelta {
+        let mut delta = LedgerDelta::new();
+        for (i, node) in self.entries.iter().enumerate() {
+            for (_, p) in node {
+                delta.record(NodeId(i as u32), p.start, p.end);
+            }
+        }
+        delta
+    }
+
     /// [`StorageLedger::add`] that also records the profile's support
     /// into `delta` (skipped, like the add itself, for zero-space
     /// profiles). SORP's commit uses this to build the commit delta that
@@ -889,6 +937,41 @@ mod tests {
         d.clear();
         assert!(d.is_empty());
         assert!(!d.intersects(&[(NodeId(1), 0.0, 1e9)]));
+    }
+
+    #[test]
+    fn remove_drained_keeps_live_profiles() {
+        let t = topo(5.0);
+        let mut l = StorageLedger::new(&t);
+        // Ends at 6000 (drain tail) and 11000 respectively.
+        l.add(NodeId(1), VideoId(0), profile(0.0, 5000.0));
+        l.add(NodeId(1), VideoId(0), profile(4000.0, 10_000.0));
+        l.add(NodeId(1), VideoId(1), profile(0.0, 5000.0));
+        // At t = 8000 only video 0's first profile has drained.
+        assert_eq!(l.remove_drained(NodeId(1), VideoId(0), 8000.0), 1);
+        assert_eq!(l.profile_count(NodeId(1)), 2);
+        assert_eq!(l.usage_at(NodeId(1), 5000.0, None), units::gb(4.0));
+        // Idempotent; later cutoffs evict the rest.
+        assert_eq!(l.remove_drained(NodeId(1), VideoId(0), 8000.0), 0);
+        assert_eq!(l.remove_drained(NodeId(1), VideoId(0), 1e9), 1);
+        assert_eq!(l.remove_drained(NodeId(1), VideoId(1), 1e9), 1);
+        assert_eq!(l.profile_count(NodeId(1)), 0);
+        assert_eq!(l.plateau_sum(NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn span_delta_covers_every_profile() {
+        let t = topo(5.0);
+        let mut l = StorageLedger::new(&t);
+        assert!(l.span_delta().is_empty());
+        l.add(NodeId(1), VideoId(0), profile(100.0, 5000.0));
+        l.add(NodeId(1), VideoId(1), profile(4000.0, 9000.0));
+        l.add(NodeId(2), VideoId(2), profile(0.0, 1000.0));
+        let d = l.span_delta();
+        assert_eq!(d.spans().len(), 2);
+        assert!(d.intersects(&[(NodeId(1), 9500.0, 9600.0)]), "drain tail covered");
+        assert!(!d.intersects(&[(NodeId(1), 10_500.0, 11_000.0)]));
+        assert!(d.intersects(&[(NodeId(2), 500.0, 600.0)]));
     }
 
     #[test]

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod adaptive;
 pub mod bandwidth;
 pub mod bandwidth_aware;
 pub mod baselines;
@@ -64,7 +65,9 @@ mod repair;
 mod shard;
 mod sorp;
 mod timeline;
+mod warm;
 
+pub use adaptive::{CalibPoint, ShardSelector};
 pub use bandwidth_aware::{
     bandwidth_aware_solve, constrained_cheapest_path, BandwidthAwareOutcome, LinkLedger,
 };
@@ -84,10 +87,13 @@ pub use pricing::{ivsp_solve_priced, ivsp_solve_priced_with, PricedSchedule};
 pub use repair::{
     repair_schedule, DelayRecord, RepairConfig, RepairOutcome, ShedReason, ShedRecord,
 };
-pub use shard::{shard_solve, shard_solve_seeded, ShardConfig, ShardOutcome, ShardStats};
+pub use shard::{
+    shard_solve, shard_solve_seeded, shard_solve_warm, ShardConfig, ShardOutcome, ShardStats,
+};
 pub use sorp::{
     sorp_solve, sorp_solve_priced, sorp_solve_seeded, SorpConfig, SorpOutcome, VictimRecord,
     EXTERNAL_OCCUPANCY,
 };
 pub use timeline::{OccupancyTimeline, Prefix};
 pub use vod_parallel::{map_with_mode, parallel_map, ExecMode};
+pub use warm::{CommittedBook, WarmState, WarmStats};

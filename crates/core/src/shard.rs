@@ -48,12 +48,13 @@
 //! following the reference-ledger / uncached-solver discipline.
 
 use crate::sorp::SolveState;
+use crate::warm::WarmState;
 use crate::{
     detect_overflows, ivsp_solve_priced_with, PricedSchedule, SchedCtx, SorpConfig, SorpOutcome,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
-use vod_cost_model::{Dollars, RequestBatch, SpaceProfile, VideoId};
+use vod_cost_model::{Dollars, RequestBatch, Secs, SpaceProfile, VideoId};
 use vod_parallel::{map_with_mode, ExecMode};
 use vod_topology::NodeId;
 use vod_workload::{partition_requests, ShardSpec, ShardStrategy};
@@ -301,6 +302,201 @@ pub fn shard_solve_seeded(
 
     ShardOutcome {
         sorp: global.into_outcome(ctx),
+        shards: per_shard.len(),
+        per_shard,
+        split_videos: split.len(),
+        shared_storages,
+        cross_shard_overflows,
+        reconcile_iterations,
+        reconcile_victims,
+        trials_transplanted,
+    }
+}
+
+/// [`shard_solve_seeded`] with a cross-cycle warm start: committed
+/// occupancy, carried trial-cache entries, and phase-1 pricing memos all
+/// come from `warm` (updated in place for the next cycle) instead of a
+/// flat external profile list and cold caches. `window_start` is the new
+/// cycle's window origin: [`WarmState::begin_cycle`] first evicts
+/// everything fully drained before it.
+///
+/// Structure mirrors [`shard_solve_seeded`] exactly — same partition,
+/// same per-shard pipeline, same reconciliation — with three warm
+/// substitutions, each argued equivalence-preserving in the [`crate::warm`]
+/// module docs:
+///
+/// * phase 1 runs through the pricing memo ([`WarmState`]'s
+///   `phase1_warm`), bit-identical to [`ivsp_solve_priced_with`];
+/// * every [`SolveState`] starts from a clone of the incrementally
+///   maintained committed ledger ([`SolveState::new_with_base`]) instead
+///   of re-adding the external list;
+/// * carried trials adopt at epoch 0 behind a first delta that unions
+///   the previous cycle's final ledger footprint with the new state's
+///   own — so the standard lazy validation answers every cross-cycle
+///   staleness question before an entry is reused.
+///
+/// Shards are prepared and resolved in sequence (the warm state is one
+/// mutable resource); each shard's greedy fan-out and resolution pass
+/// run under the caller's full `mode`, which per the [`map_with_mode`]
+/// order-preservation contract leaves outputs bit-identical to the cold
+/// sharded pipeline's `inner`-mode passes.
+pub fn shard_solve_warm(
+    ctx: &SchedCtx<'_>,
+    batch: &RequestBatch,
+    cfg: &ShardConfig,
+    warm: &mut WarmState,
+    window_start: Secs,
+    mode: ExecMode,
+) -> ShardOutcome {
+    warm.begin_cycle(ctx, window_start);
+    warm.stats.shards_used = 1;
+
+    if cfg.sorp.use_monolithic_solver {
+        let priced = warm.phase1_warm(ctx, batch, cfg.sorp.policy, mode);
+        let mut state = SolveState::new_with_base(ctx, priced, warm.committed().ledger().clone());
+        let trials = warm.take_matching_trials(batch);
+        warm.seed_state(&mut state, trials);
+        state.resolve(ctx, &cfg.sorp, mode);
+        warm.harvest(&mut state);
+        let sorp = state.into_outcome(ctx);
+        warm.absorb_schedule(ctx, &sorp.schedule);
+        return ShardOutcome {
+            sorp,
+            shards: 1,
+            per_shard: Vec::new(),
+            split_videos: 0,
+            shared_storages: 0,
+            cross_shard_overflows: 0,
+            reconcile_iterations: 0,
+            reconcile_victims: 0,
+            trials_transplanted: 0,
+        };
+    }
+
+    let spec = ShardSpec { shards: cfg.shards, strategy: cfg.strategy, seed: cfg.seed };
+    let batches = partition_requests(ctx.topo, batch, &spec);
+
+    let mut states = Vec::with_capacity(batches.len());
+    for shard_batch in &batches {
+        let priced = warm.phase1_warm(ctx, shard_batch, cfg.sorp.policy, mode);
+        let mut state = SolveState::new_with_base(ctx, priced, warm.committed().ledger().clone());
+        let trials = warm.take_matching_trials(shard_batch);
+        warm.seed_state(&mut state, trials);
+        state.resolve(ctx, &cfg.sorp, mode);
+        states.push(state);
+    }
+
+    let per_shard: Vec<ShardStats> = batches
+        .iter()
+        .zip(&states)
+        .map(|(b, s)| ShardStats {
+            requests: b.len(),
+            videos: s.priced.schedule().videos().count(),
+            initial_cost: s.initial_cost,
+            resolved_cost: s.priced.total(),
+            iterations: s.iterations,
+            victims: s.victims.len(),
+        })
+        .collect();
+
+    if states.len() == 1 {
+        let mut state = states.pop().expect("one shard is present");
+        warm.harvest(&mut state);
+        let sorp = state.into_outcome(ctx);
+        warm.absorb_schedule(ctx, &sorp.schedule);
+        return ShardOutcome {
+            sorp,
+            shards: 1,
+            per_shard,
+            split_videos: 0,
+            shared_storages: 0,
+            cross_shard_overflows: 0,
+            reconcile_iterations: 0,
+            reconcile_victims: 0,
+            trials_transplanted: 0,
+        };
+    }
+
+    let mut video_shards: BTreeMap<VideoId, usize> = BTreeMap::new();
+    let mut storage_shards: BTreeMap<NodeId, BTreeSet<usize>> = BTreeMap::new();
+    for (si, s) in states.iter().enumerate() {
+        for vs in s.priced.schedule().videos() {
+            *video_shards.entry(vs.video).or_insert(0) += 1;
+            for r in &vs.residencies {
+                storage_shards.entry(r.loc).or_default().insert(si);
+            }
+        }
+    }
+    let split: BTreeSet<VideoId> =
+        video_shards.iter().filter(|&(_, &n)| n > 1).map(|(&v, _)| v).collect();
+    let shared_storages = storage_shards.values().filter(|s| s.len() > 1).count();
+
+    let mut parts = Vec::with_capacity(states.len());
+    let mut handovers = Vec::with_capacity(states.len());
+    let mut initial_cost = 0.0;
+    let mut iterations = 0;
+    let mut forced_fallbacks = 0;
+    let mut trials_run = 0;
+    let mut trials_cached = 0;
+    let mut nodes_rescanned = 0;
+    let mut carried_revalidated = 0;
+    let mut victims = Vec::new();
+    for mut s in states {
+        initial_cost += s.initial_cost;
+        iterations += s.iterations;
+        forced_fallbacks += s.forced_fallbacks;
+        trials_run += s.trials_run;
+        trials_cached += s.trials_cached;
+        nodes_rescanned += s.nodes_rescanned;
+        carried_revalidated += s.carried_revalidated;
+        victims.append(&mut s.victims);
+        s.cache.retain(|vid, _| !split.contains(vid));
+        handovers.push((s.cache, s.forbidden));
+        parts.push(s.priced);
+    }
+
+    let merged = PricedSchedule::merge(parts);
+    let mut global = SolveState::new_with_base(ctx, merged, warm.committed().ledger().clone());
+
+    // The cross-shard validation delta: the global ledger's full
+    // footprint (merged residencies *and* committed occupancy — a
+    // superset of the cold path's delta, safe in the conservative
+    // direction) unioned with the previous cycle's final footprint, so
+    // carried entries that were never consulted during their shard's
+    // pass still answer the cross-cycle staleness question here.
+    let mut cross = global.ledger.span_delta();
+    cross.merge(&warm.dirty);
+    global.deltas = vec![cross];
+
+    let mut trials_transplanted = 0;
+    for (cache, forbidden) in handovers {
+        trials_transplanted += global.adopt(cache, forbidden);
+    }
+
+    let cross_shard_overflows = detect_overflows(ctx.topo, &global.ledger).len();
+
+    global.initial_cost = initial_cost;
+    global.iterations = iterations;
+    global.forced_fallbacks = forced_fallbacks;
+    global.trials_run = trials_run;
+    global.trials_cached = trials_cached;
+    global.nodes_rescanned = nodes_rescanned;
+    global.carried_revalidated = carried_revalidated;
+    global.victims = victims;
+
+    let victims_before = global.victims.len();
+    let iters_before = global.iterations;
+    global.resolve(ctx, &cfg.sorp, mode);
+    let reconcile_iterations = global.iterations - iters_before;
+    let reconcile_victims = global.victims.len() - victims_before;
+
+    warm.harvest(&mut global);
+    warm.stats.shards_used = per_shard.len();
+    let sorp = global.into_outcome(ctx);
+    warm.absorb_schedule(ctx, &sorp.schedule);
+
+    ShardOutcome {
+        sorp,
         shards: per_shard.len(),
         per_shard,
         split_videos: split.len(),

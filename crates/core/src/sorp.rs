@@ -265,7 +265,7 @@ struct TrialJob {
 /// occupancy is invisible to its trials.
 pub(crate) struct CachedTrial {
     /// The trial reschedule's output.
-    new_vs: VideoSchedule,
+    pub(crate) new_vs: VideoSchedule,
     /// `ctx.video_cost(&new_vs)`, computed once at trial time.
     new_cost: Dollars,
     /// The forbidden windows the entry is currently known valid under.
@@ -277,6 +277,11 @@ pub(crate) struct CachedTrial {
     /// to replay bit-identically against the ledger as of
     /// `deltas[..epoch]`.
     pub(crate) epoch: usize,
+    /// Whether the entry was carried in from a previous scheduling cycle
+    /// by a warm start (cleared on its first successful revalidation;
+    /// purely diagnostic — validation treats carried and fresh entries
+    /// identically).
+    pub(crate) carried: bool,
 }
 
 /// Cap on memoized trials per video. A video keeps one entry per
@@ -446,6 +451,9 @@ pub(crate) struct SolveState {
     pub(crate) trials_cached: usize,
     pub(crate) nodes_rescanned: usize,
     pub(crate) initial_cost: Dollars,
+    /// Cache hits answered by entries carried in from a previous cycle
+    /// (each counted once, at the entry's first reuse this solve).
+    pub(crate) carried_revalidated: usize,
 }
 
 impl SolveState {
@@ -466,6 +474,31 @@ impl SolveState {
         for (loc, profile) in external {
             ledger.add(*loc, EXTERNAL_OCCUPANCY, *profile);
         }
+        Self::with_ledger(priced, ledger, initial_cost)
+    }
+
+    /// Fresh state over an already-built occupancy ledger holding the
+    /// external (cross-cycle) occupancy: the warm-start path clones the
+    /// incrementally maintained committed-occupancy ledger instead of
+    /// re-adding the full external profile list, then lays this cycle's
+    /// schedule on top. Per-node entry order is external-then-schedule
+    /// (the cold [`SolveState::new`] builds schedule-then-external);
+    /// aggregate occupancy is order-independent, so admission verdicts
+    /// agree — only reference-mode float summation order would differ,
+    /// which is why the warm path keeps the timeline mode.
+    pub(crate) fn new_with_base(
+        ctx: &SchedCtx<'_>,
+        priced: PricedSchedule,
+        mut base: StorageLedger,
+    ) -> Self {
+        let initial_cost = priced.total();
+        for r in priced.schedule().residencies() {
+            base.add(r.loc, r.video, r.profile(ctx.catalog.get(r.video)));
+        }
+        Self::with_ledger(priced, base, initial_cost)
+    }
+
+    fn with_ledger(priced: PricedSchedule, ledger: StorageLedger, initial_cost: Dollars) -> Self {
         Self {
             priced,
             ledger,
@@ -480,6 +513,7 @@ impl SolveState {
             trials_cached: 0,
             nodes_rescanned: 0,
             initial_cost,
+            carried_revalidated: 0,
         }
     }
 
@@ -559,6 +593,13 @@ impl SolveState {
                     .iter()
                     .map(|job| take_cached(&mut self.cache, job, &self.deltas, ctx, &self.ledger))
                     .collect();
+                for e in slots.iter_mut().flatten() {
+                    if e.carried {
+                        // First reuse of a cross-cycle entry this solve.
+                        e.carried = false;
+                        self.carried_revalidated += 1;
+                    }
+                }
                 let miss_idx: Vec<usize> =
                     (0..jobs.len()).filter(|&ji| slots[ji].is_none()).collect();
                 self.trials_run += miss_idx.len();
@@ -580,6 +621,7 @@ impl SolveState {
                         bans: job.bans.clone(),
                         trace,
                         epoch: deltas.len(),
+                        carried: false,
                     }
                 });
                 for (&ji, trial) in miss_idx.iter().zip(fresh) {

@@ -1,0 +1,214 @@
+//! Property tests for the cross-cycle warm start: warm-started Ψ must
+//! equal the cold-start oracle's Ψ on every cycle across seeds and
+//! shard counts, the warm state must never resurrect an expired
+//! reservation (neither in the committed book nor in the delivered
+//! schedule), and the adaptive shard pick must be a deterministic,
+//! region-clamped function of its calibration table.
+
+use proptest::prelude::*;
+use vod_core::{
+    shard_solve_seeded, shard_solve_warm, CalibPoint, ExecMode, SchedCtx, ShardConfig,
+    ShardSelector, WarmState,
+};
+use vod_cost_model::{Catalog, CostModel, Request, RequestBatch, SpaceProfile};
+use vod_topology::{builders, NodeId, Topology};
+use vod_workload::{generate_catalog, generate_requests, CatalogConfig, RequestConfig};
+
+const HORIZON: f64 = 24.0 * 3_600.0;
+
+fn world(capacity_gb: f64, seed: u64) -> (Topology, Catalog) {
+    let topo =
+        builders::paper_fig4(&builders::PaperFig4Config { capacity_gb, ..Default::default() });
+    let catalog = generate_catalog(&CatalogConfig::small(30), seed ^ 0xC0FF_EE);
+    (topo, catalog)
+}
+
+/// Cycle `k`'s batch: a fresh workload draw shifted onto `[kH, (k+1)H)`.
+fn cycle_batch(topo: &Topology, catalog: &Catalog, seed: u64, k: usize) -> RequestBatch {
+    let raw = generate_requests(topo, catalog, &RequestConfig::paper(), seed ^ (k as u64 + 1));
+    RequestBatch::new(
+        raw.iter().map(|r| Request { start: r.start + k as f64 * HORIZON, ..*r }).collect(),
+    )
+}
+
+fn request_multiset(batch: &RequestBatch) -> Vec<(u32, u32, u64)> {
+    let mut v: Vec<(u32, u32, u64)> =
+        batch.iter().map(|r| (r.user.0, r.video.0, r.start.to_bits())).collect();
+    v.sort_unstable();
+    v
+}
+
+fn delivered_multiset(schedule: &vod_cost_model::Schedule) -> Vec<(u32, u32, u64)> {
+    let mut v: Vec<(u32, u32, u64)> = schedule
+        .videos()
+        .flat_map(|vs| {
+            vs.delivered_requests()
+                .into_iter()
+                .map(move |r| (r.user.0, vs.video.0, r.start.to_bits()))
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Rolling three cycles warm produces, on every cycle, the same Ψ
+    /// (within 1e-9 relative) as re-solving that cycle from scratch
+    /// against the flat committed-profile list — across workload seeds,
+    /// shard counts, and capacities.
+    #[test]
+    fn warm_psi_equals_cold_psi_on_every_cycle(
+        seed in 0u64..500,
+        shards in 1usize..6,
+        capacity_gb in prop_oneof![Just(5.0), Just(8.0)],
+    ) {
+        let (topo, catalog) = world(capacity_gb, seed);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+        let cfg = ShardConfig { shards, ..ShardConfig::default() };
+
+        let mut warm = WarmState::new(&topo);
+        let mut committed: Vec<(NodeId, SpaceProfile)> = Vec::new();
+        for k in 0..3usize {
+            let batch = cycle_batch(&topo, &catalog, seed, k);
+            let t0 = k as f64 * HORIZON;
+            let w = shard_solve_warm(&ctx, &batch, &cfg, &mut warm, t0, ExecMode::Sequential);
+            let c = shard_solve_seeded(&ctx, &batch, &cfg, &committed, ExecMode::Sequential);
+            prop_assert!(w.sorp.overflow_free && c.sorp.overflow_free, "cycle {k} left overflows");
+            let rel = (w.sorp.cost - c.sorp.cost).abs() / c.sorp.cost.max(1.0);
+            prop_assert!(
+                rel <= 1e-9,
+                "cycle {}: warm Ψ {} vs cold Ψ {} (rel {:e})", k, w.sorp.cost, c.sorp.cost, rel
+            );
+            for r in c.sorp.schedule.residencies() {
+                let p = r.profile(catalog.get(r.video));
+                if p.peak() > 0.0 {
+                    committed.push((r.loc, p));
+                }
+            }
+        }
+    }
+
+    /// The warm state never resurrects an expired reservation: after
+    /// every cycle, each committed profile still in the book extends
+    /// past the cycle's window start (everything drained earlier was
+    /// evicted), the eviction accounting balances exactly, and the
+    /// delivered schedule serves precisely the cycle's own batch —
+    /// nothing from an earlier window leaks in.
+    #[test]
+    fn warm_state_never_resurrects_expired_reservations(
+        seed in 0u64..500,
+        shards in 1usize..5,
+    ) {
+        let (topo, catalog) = world(5.0, seed);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+        let cfg = ShardConfig { shards, ..ShardConfig::default() };
+
+        let mut warm = WarmState::new(&topo);
+        let mut prev_active = 0usize;
+        for k in 0..3usize {
+            let batch = cycle_batch(&topo, &catalog, seed, k);
+            let t0 = k as f64 * HORIZON;
+            let out = shard_solve_warm(&ctx, &batch, &cfg, &mut warm, t0, ExecMode::Sequential);
+
+            // Eviction accounting: what begin_cycle kept plus what it
+            // dropped is exactly what the previous cycle left behind.
+            prop_assert_eq!(
+                warm.stats.committed_active + warm.stats.committed_evicted,
+                prev_active,
+                "cycle {}: eviction accounting leaked profiles", k
+            );
+            // Every surviving profile (carried or freshly absorbed) still
+            // holds space past the window start.
+            for (loc, p) in warm.committed().profiles() {
+                prop_assert!(
+                    p.end > t0,
+                    "cycle {}: drained profile [{}, {}] at {} survived eviction",
+                    k, p.start, p.end, loc
+                );
+            }
+            // The schedule serves exactly this cycle's batch.
+            prop_assert_eq!(
+                delivered_multiset(&out.sorp.schedule),
+                request_multiset(&batch),
+                "cycle {}: delivered requests diverged from the batch", k
+            );
+            prev_active = warm.committed().active();
+        }
+    }
+
+    /// The adaptive pick is a pure function of the calibration table:
+    /// rebuilt tables pick identically, repeated calls pick identically,
+    /// and the pick always lands in `[1, max(regions, 1)]`.
+    #[test]
+    fn adaptive_pick_is_deterministic_and_clamped(
+        points in proptest::collection::vec(
+            (1usize..20_000, 1usize..17, 1_000u64..10_000_000_000),
+            0..12,
+        ),
+        requests in 1usize..20_000,
+        regions in 0usize..20,
+    ) {
+        let pts: Vec<CalibPoint> = points
+            .iter()
+            .map(|&(requests, shards, nanos)| CalibPoint { requests, shards, nanos: nanos as f64 })
+            .collect();
+        let sel = ShardSelector::from_points(&pts);
+        let pick = sel.pick(requests, regions);
+        prop_assert_eq!(pick, sel.pick(requests, regions), "repeated pick diverged");
+        let rebuilt = ShardSelector::from_points(&pts);
+        prop_assert_eq!(pick, rebuilt.pick(requests, regions), "rebuilt table picked differently");
+        prop_assert!((1..=regions.max(1)).contains(&pick), "pick {} outside clamp", pick);
+        // The bench-seeded table is deterministic too.
+        prop_assert_eq!(
+            ShardSelector::seeded_from_bench().pick(requests, regions),
+            ShardSelector::seeded_from_bench().pick(requests, regions)
+        );
+    }
+}
+
+/// Re-submitting the same window's batch re-prices every video group
+/// straight from the carried phase-1 memos, and the result still agrees
+/// with the cold oracle solved against the first pass's committed
+/// occupancy.
+#[test]
+fn repeated_batch_reuses_phase1_memos() {
+    let (topo, catalog) = world(5.0, 9);
+    let model = CostModel::per_hop();
+    let ctx = SchedCtx::new(&topo, &model, &catalog);
+    let cfg = ShardConfig::default();
+    let batch = cycle_batch(&topo, &catalog, 9, 0);
+
+    let mut warm = WarmState::new(&topo);
+    let first = shard_solve_warm(&ctx, &batch, &cfg, &mut warm, 0.0, ExecMode::Sequential);
+    assert_eq!(warm.stats.phase1_hits, 0, "a fresh state has nothing to hit");
+
+    let second = shard_solve_warm(&ctx, &batch, &cfg, &mut warm, 0.0, ExecMode::Sequential);
+    let groups = batch.groups().count();
+    // Every per-shard group re-prices from the memo; videos split across
+    // shards contribute one hit per shard, so hits meet or exceed the
+    // full-batch group count.
+    assert!(
+        warm.stats.phase1_hits >= groups,
+        "an identical batch must price every group from the memo ({} hits < {} groups)",
+        warm.stats.phase1_hits,
+        groups
+    );
+    assert!(warm.stats.trials_carried > 0 || first.sorp.victims.is_empty());
+
+    // Cold oracle for the second pass: from-scratch solve over the first
+    // pass's committed occupancy.
+    let committed: Vec<(NodeId, SpaceProfile)> = first
+        .sorp
+        .schedule
+        .residencies()
+        .map(|r| (r.loc, r.profile(catalog.get(r.video))))
+        .filter(|(_, p)| p.peak() > 0.0)
+        .collect();
+    let cold = shard_solve_seeded(&ctx, &batch, &cfg, &committed, ExecMode::Sequential);
+    let rel = (second.sorp.cost - cold.sorp.cost).abs() / cold.sorp.cost.max(1.0);
+    assert!(rel <= 1e-9, "repeat Ψ {} vs cold {} (rel {rel:e})", second.sorp.cost, cold.sorp.cost);
+}

@@ -19,12 +19,16 @@ fn main() -> ExitCode {
     let mut preset = Preset::Paper;
     let mut out_dir: Option<PathBuf> = None;
     let mut rpu: Option<usize> = None;
+    let mut cold = false;
+    let mut adaptive = false;
     let mut targets: Vec<String> = Vec::new();
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--fast" => preset = Preset::Fast,
+            "--cold" => cold = true,
+            "--adaptive" => adaptive = true,
             "--out" => match it.next() {
                 Some(dir) => out_dir = Some(PathBuf::from(dir)),
                 None => {
@@ -121,7 +125,12 @@ fn main() -> ExitCode {
             "cycles" => {
                 let params = EnvParams::for_preset(preset);
                 let n = if preset == Preset::Fast { 3 } else { 7 };
-                let r = cycles::rolling_horizon(&params, n);
+                let cfg = cycles::RollingConfig {
+                    use_cold_start: cold,
+                    adaptive,
+                    ..cycles::RollingConfig::default()
+                };
+                let r = cycles::rolling_horizon_with(&params, n, &cfg);
                 println!("{}", r.render());
                 if let Some(dir) = &out_dir {
                     let path = dir.join("cycles.txt");
@@ -192,5 +201,7 @@ fn usage() -> &'static str {
      Reproduces the evaluation of Won & Srivastava (HPDC 1997).\n\
      --fast   use reduced grids/workload (smoke run)\n\
      --out D  additionally write CSV/text outputs into directory D\n\
-     --rpu N  reservations per user per cycle for table5 (default 2)"
+     --rpu N  reservations per user per cycle for table5 (default 2)\n\
+     --cold     cycles: re-solve each cycle from scratch (oracle path)\n\
+     --adaptive cycles: let the warm selector pick the shard count"
 }

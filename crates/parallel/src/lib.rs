@@ -67,8 +67,17 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
-    parallel_map_with_workers(items, workers, f)
+    parallel_map_with_workers(items, default_workers(), f)
+}
+
+/// `available_parallelism`, resolved once per process. The std call is
+/// not cached and re-reads the cgroup CPU quota on every invocation —
+/// microseconds that multiply into milliseconds when a resolution pass
+/// fans out per trial thousands of times per solve.
+fn default_workers() -> usize {
+    use std::sync::OnceLock;
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
 /// [`parallel_map`] with an explicit worker count (single-worker calls

@@ -25,8 +25,14 @@ cargo bench --offline -p vod-bench --bench sorp_scaling -- --test
 echo "==> bench smoke run (sorp_sharded --test)"
 cargo bench --offline -p vod-bench --bench sorp_sharded -- --test
 
+echo "==> bench smoke run (cycles_warm --test)"
+cargo bench --offline -p vod-bench --bench cycles_warm -- --test
+
 echo "==> sharded-scheduler property suite"
 cargo test -q --offline -p vod-core --test shard_props
+
+echo "==> warm-start property suite"
+cargo test -q --offline -p vod-core --test warm_start_props
 
 echo "==> fault-injection suite"
 cargo test -q --offline -p vod-faults
