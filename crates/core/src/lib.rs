@@ -62,6 +62,7 @@ pub mod heat;
 mod overflow;
 mod pricing;
 mod repair;
+pub mod service;
 mod shard;
 mod sorp;
 mod timeline;
@@ -86,6 +87,10 @@ pub use overflow::{detect_overflows, overflow_set, Interval, Overflow, OverflowM
 pub use pricing::{ivsp_solve_priced, ivsp_solve_priced_with, PricedSchedule};
 pub use repair::{
     repair_schedule, DelayRecord, RepairConfig, RepairOutcome, ShedReason, ShedRecord,
+};
+pub use service::{
+    service_run, BackoffPolicy, BudgetModel, IntakeError, Rung, ServiceConfig, ServiceCycleOutcome,
+    ServiceCycleStats, ServiceLoop, ServiceReport,
 };
 pub use shard::{
     shard_solve, shard_solve_seeded, shard_solve_warm, ShardConfig, ShardOutcome, ShardStats,

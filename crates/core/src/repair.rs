@@ -185,7 +185,10 @@ pub fn repair_schedule(
     let repaired_videos: Vec<VideoId> = impact.affected_videos.iter().copied().collect();
 
     for &vid in &repaired_videos {
-        let old_vs = priced.schedule().video(vid).expect("affected video is scheduled").clone();
+        // Impact only lists scheduled videos, but the service loop feeds
+        // this path continuously — a stale or hostile plan must degrade
+        // to a skip, never a panic.
+        let Some(old_vs) = priced.schedule().video(vid).cloned() else { continue };
         let requests = old_vs.delivered_requests();
         let heat = requests.len();
         let playback = ctx.catalog.get(vid).playback;

@@ -1,0 +1,1169 @@
+//! Async service frontend: admission control, a deadline-budgeted
+//! degradation ladder, and overload shedding for the rolling-horizon
+//! scheduler.
+//!
+//! The paper frames VOR as a *service*: requests arrive continuously
+//! ahead of their reserved start times, and the provider must keep
+//! admitting, scheduling, and serving them. [`ServiceLoop`] is that
+//! request-intake layer on top of [`crate::shard_solve_warm`]:
+//!
+//! * arriving requests enter a **bounded intake queue** in
+//!   oldest-deadline-first order, behind a reject-before-enqueue
+//!   admission test against the committed occupancy the [`WarmState`]
+//!   already carries ([`IntakeError`] is the typed backpressure);
+//! * each cycle's drained batch is solved under a **per-cycle deadline
+//!   budget** enforced by a degradation ladder ([`Rung`]): full warm
+//!   sharded solve → reduced SORP trial budget → greedy-only placement
+//!   (`max_iterations = 0`, the deterministic direct-delivery fallback)
+//!   → heat-ranked shedding. The rung is chosen by a [`BudgetModel`] —
+//!   an EMA over **simulated** nanoseconds derived from the solver's
+//!   deterministic work counters, in the style of
+//!   [`crate::ShardSelector`] — never from the wall clock, so a run's
+//!   rung sequence is bit-reproducible across machines and
+//!   [`ExecMode`]s;
+//! * shed and fault-displaced requests **re-enqueue into later cycles**
+//!   with capped exponential backoff and a drop-after-N policy
+//!   ([`BackoffPolicy`]); [`vod_faults::FaultPlan`] outages are wired
+//!   straight into the loop, so [`crate::repair_schedule`] runs between
+//!   cycles instead of only in one-shot tests;
+//! * everything is accounted in a [`ServiceReport`]: per-cycle rung,
+//!   queue-depth high-water mark, admitted / deferred / shed / dropped
+//!   counts, deadline misses, and the backoff histogram, with a
+//!   [`ServiceReport::conservation_error`] balance check.
+//!
+//! ## Equivalence oracle
+//!
+//! With an unbounded queue, an infinite budget, no saturation limit,
+//! and an empty fault plan, every cycle runs the [`Rung::Full`] solve
+//! on exactly the batch the rolling-horizon loop would have built
+//! ([`vod_cost_model::RequestBatch::new`] normalises request order, so
+//! queue ordering is invisible to the solver), against the same
+//! [`WarmState`] evolution — committed schedules and Ψ are
+//! bit-identical to `rolling_horizon` on the same arrival trace. The
+//! `service_props` suite asserts this.
+//!
+//! ## Determinism of the ladder
+//!
+//! [`BudgetModel::simulated_ns`] is a fixed linear form over the
+//! solver's `(requests, iterations, victims, forced_fallbacks)`
+//! counters, which the sharded solver keeps bit-stable across runs and
+//! [`ExecMode`]s. The EMA state therefore evolves identically on every
+//! replay of the same arrival trace, and with it every
+//! [`BudgetModel::pick`].
+
+use crate::{
+    repair_schedule, shard_solve_warm, PricedSchedule, RepairConfig, SchedCtx, ShardConfig,
+    WarmState, WarmStats,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+use vod_cost_model::{Dollars, Request, RequestBatch, Schedule, Secs};
+use vod_faults::{Fault, FaultError, FaultPlan};
+use vod_parallel::ExecMode;
+use vod_topology::Topology;
+use vod_workload::Arrival;
+
+/// The degradation ladder, cheapest-first from the bottom. Every cycle
+/// runs on exactly one rung, chosen by the [`BudgetModel`] before the
+/// solve starts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Rung {
+    /// The full warm sharded solve (the oracle path).
+    #[default]
+    Full,
+    /// SORP trial budget clamped to [`ServiceConfig::reduced_trials`].
+    ReducedTrials,
+    /// Greedy placement only: `max_iterations = 0`, overflows cleared by
+    /// the deterministic direct-delivery fallback.
+    GreedyOnly,
+    /// Even the greedy cannot finish in budget: shed the lowest-heat
+    /// requests until the remainder fits, then run greedy-only.
+    Shed,
+}
+
+impl Rung {
+    /// Short fixed-width label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Rung::Full => "full",
+            Rung::ReducedTrials => "reduced",
+            Rung::GreedyOnly => "greedy",
+            Rung::Shed => "shed",
+        }
+    }
+}
+
+impl fmt::Display for Rung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Typed backpressure from [`ServiceLoop::offer`]: the request was NOT
+/// enqueued and the caller must retry later or give up.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum IntakeError {
+    /// The bounded intake queue is at capacity.
+    QueueFull {
+        /// The configured bound the queue is sitting at.
+        bound: usize,
+    },
+    /// Admission control rejected the request before enqueueing: the
+    /// committed occupancy already held at the request's start time is
+    /// at or beyond the configured saturation limit.
+    Saturated {
+        /// Committed bytes held at the request's start.
+        spillover_bytes: f64,
+        /// The configured admission limit.
+        limit_bytes: f64,
+    },
+}
+
+impl fmt::Display for IntakeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            IntakeError::QueueFull { bound } => {
+                write!(f, "intake queue full at its bound of {bound}")
+            }
+            IntakeError::Saturated { spillover_bytes, limit_bytes } => write!(
+                f,
+                "admission rejected: {spillover_bytes:.0} B committed at the requested start \
+                 exceeds the {limit_bytes:.0} B saturation limit"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IntakeError {}
+
+/// Re-enqueue policy for shed and fault-displaced requests.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct BackoffPolicy {
+    /// Cycles to wait after the first failed attempt.
+    pub base_cycles: usize,
+    /// Cap on the exponential backoff delay, cycles.
+    pub max_cycles: usize,
+    /// A request is dropped permanently once it has failed more than
+    /// this many attempts.
+    pub drop_after: u32,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        Self { base_cycles: 1, max_cycles: 8, drop_after: 3 }
+    }
+}
+
+impl BackoffPolicy {
+    /// Delay in cycles before attempt `attempts` (1-based) re-enters the
+    /// queue: `base · 2^(attempts−1)`, capped at `max_cycles` and never
+    /// below one cycle.
+    pub fn delay(&self, attempts: u32) -> usize {
+        let exp = attempts.saturating_sub(1).min(16);
+        self.base_cycles.saturating_mul(1usize << exp).clamp(1, self.max_cycles.max(1))
+    }
+}
+
+/// Configuration of the service loop. The default is the *oracle*
+/// configuration: unbounded queue, infinite budget, no admission limit,
+/// no faults — bit-identical to the rolling-horizon loop.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// The sharded-solver configuration the [`Rung::Full`] solve runs
+    /// under; lower rungs derive from it by clamping the trial budget.
+    pub shard: ShardConfig,
+    /// Cycle length in seconds (cycle `k` serves `[k·h, (k+1)·h)`).
+    pub horizon: Secs,
+    /// Intake queue bound; `None` is unbounded.
+    pub queue_bound: Option<usize>,
+    /// Per-cycle deadline budget in simulated nanoseconds; `None` is
+    /// infinite (the ladder never leaves [`Rung::Full`]).
+    pub budget_ns: Option<f64>,
+    /// Admission saturation limit: reject a request outright when the
+    /// committed occupancy at its start already holds at least this many
+    /// bytes. `None` disables the test.
+    pub saturation_bytes: Option<f64>,
+    /// Backoff policy for shed and fault-displaced requests.
+    pub backoff: BackoffPolicy,
+    /// SORP iteration budget on the [`Rung::ReducedTrials`] rung.
+    pub reduced_trials: usize,
+    /// Faults injected over the run; each cycle repairs against the
+    /// sub-plan of faults overlapping its window.
+    pub faults: FaultPlan,
+    /// Retry/backoff policy handed to [`crate::repair_schedule`].
+    pub repair: RepairConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            shard: ShardConfig::default(),
+            horizon: 24.0 * 3_600.0,
+            queue_bound: None,
+            budget_ns: None,
+            saturation_bytes: None,
+            backoff: BackoffPolicy::default(),
+            reduced_trials: 32,
+            faults: FaultPlan::empty(),
+            repair: RepairConfig::default(),
+        }
+    }
+}
+
+/// EMA weight of a new observation, mirroring
+/// [`crate::ShardSelector`]'s online calibration.
+const EMA_ALPHA: f64 = 0.3;
+
+/// Simulated cost per scheduled request (the phase-1 greedy share).
+const REQUEST_NS: f64 = 4_000.0;
+/// Simulated cost per SORP resolution iteration.
+const ITERATION_NS: f64 = 60_000.0;
+/// Simulated cost per committed victim reschedule.
+const VICTIM_NS: f64 = 90_000.0;
+/// Simulated cost per forced direct-delivery fallback.
+const FALLBACK_NS: f64 = 20_000.0;
+
+/// Deadline-budget model for the degradation ladder: one EMA of
+/// simulated nanoseconds **per request** for each solve rung (shed
+/// cycles observe as greedy — the rung they actually solve on). Both
+/// the inputs ([`BudgetModel::simulated_ns`], a pure function of the
+/// solver's deterministic counters) and the decision rule
+/// ([`BudgetModel::pick`]) are wall-clock-free, so the ladder replays
+/// bit-identically.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BudgetModel {
+    /// Per-request simulated ns for `[Full, ReducedTrials, GreedyOnly]`.
+    unit_ns: [f64; 3],
+}
+
+impl Default for BudgetModel {
+    fn default() -> Self {
+        // Seeds in the same currency as `simulated_ns`: a ~1k-request
+        // full solve runs a few hundred iterations (cf. the
+        // `BENCH_cycles` calibration behind `ShardSelector`), the
+        // reduced rung saves most of them, and the greedy rung is the
+        // bare per-request form. The EMA replaces the seeds within a
+        // couple of cycles.
+        Self { unit_ns: [9_700.0, 7_000.0, 4_200.0] }
+    }
+}
+
+impl BudgetModel {
+    /// Simulated nanoseconds of one cycle's solve: a fixed linear form
+    /// over the solver's deterministic work counters. Run-to-run and
+    /// [`ExecMode`]-stable because every input is.
+    pub fn simulated_ns(
+        requests: usize,
+        iterations: usize,
+        victims: usize,
+        forced_fallbacks: usize,
+    ) -> u64 {
+        (requests as f64 * REQUEST_NS
+            + iterations as f64 * ITERATION_NS
+            + victims as f64 * VICTIM_NS
+            + forced_fallbacks as f64 * FALLBACK_NS) as u64
+    }
+
+    /// Predicted simulated ns for solving `n` requests on `rung`.
+    pub fn predict(&self, rung: Rung, n: usize) -> f64 {
+        let unit = match rung {
+            Rung::Full => self.unit_ns[0],
+            Rung::ReducedTrials => self.unit_ns[1],
+            Rung::GreedyOnly | Rung::Shed => self.unit_ns[2],
+        };
+        unit * n as f64
+    }
+
+    /// Choose the cheapest rung whose prediction fits `budget`, and how
+    /// many of the `n` requests to actually solve. An infinite budget
+    /// (`None`) always picks [`Rung::Full`]. When even the greedy rung
+    /// cannot fit all `n`, the pick is [`Rung::Shed`] with
+    /// `keep = ⌊budget / greedy-unit⌋ < n` requests solved and the rest
+    /// shed. Pure function of the model state.
+    pub fn pick(&self, n: usize, budget: Option<f64>) -> (Rung, usize) {
+        let Some(b) = budget else { return (Rung::Full, n) };
+        if n == 0 {
+            return (Rung::Full, 0);
+        }
+        for rung in [Rung::Full, Rung::ReducedTrials, Rung::GreedyOnly] {
+            if self.predict(rung, n) <= b {
+                return (rung, n);
+            }
+        }
+        let keep = (b / self.unit_ns[2].max(1.0)).floor() as usize;
+        (Rung::Shed, keep.min(n.saturating_sub(1)))
+    }
+
+    /// Fold one cycle's simulated time into the rung's per-request EMA.
+    pub fn observe(&mut self, rung: Rung, requests: usize, sim_ns: u64) {
+        if requests == 0 {
+            return;
+        }
+        let unit = sim_ns as f64 / requests as f64;
+        if !(unit.is_finite() && unit > 0.0) {
+            return;
+        }
+        let idx = match rung {
+            Rung::Full => 0,
+            Rung::ReducedTrials => 1,
+            Rung::GreedyOnly | Rung::Shed => 2,
+        };
+        self.unit_ns[idx] += EMA_ALPHA * (unit - self.unit_ns[idx]);
+    }
+}
+
+/// One queued request: the (possibly backoff-shifted) request to solve,
+/// the original reservation it descends from, and how many failed
+/// attempts it has accumulated.
+#[derive(Clone, Copy, Debug)]
+struct Ticket {
+    request: Request,
+    original: Request,
+    attempts: u32,
+}
+
+/// Total-order sort key: oldest deadline first, then (video, user) for
+/// determinism. Starts are non-negative, so the bit pattern orders like
+/// the float.
+fn ticket_key(t: &Ticket) -> (u64, u32, u32) {
+    (t.request.start.to_bits(), t.request.video.0, t.request.user.0)
+}
+
+fn request_key(r: &Request) -> (u32, u32, u64) {
+    (r.user.0, r.video.0, r.start.to_bits())
+}
+
+/// Per-cycle service accounting, threaded into the rolling-horizon
+/// [`ServiceReport`] and `vod_experiments`' `CycleReport`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServiceCycleStats {
+    /// Cycle index (0-based).
+    pub cycle: usize,
+    /// The ladder rung the cycle solved on.
+    pub rung: Rung,
+    /// Requests offered to intake since the previous cycle ran.
+    pub offered: usize,
+    /// Offers bounced off the queue bound.
+    pub rejected_full: usize,
+    /// Offers rejected by the saturation admission test.
+    pub rejected_saturated: usize,
+    /// Tickets drained into this cycle's batch (including any later
+    /// shed by the ladder).
+    pub admitted: usize,
+    /// Requests the committed schedule actually serves (post-repair).
+    pub served: usize,
+    /// Shed events this cycle: ladder shedding plus repair shedding.
+    /// Each shed request is also counted once under `deferred` or
+    /// `dropped`, whichever disposition it received.
+    pub shed: usize,
+    /// Requests re-enqueued into a later cycle with backoff.
+    pub deferred: usize,
+    /// Requests dropped permanently (drop-after-N exceeded).
+    pub dropped: usize,
+    /// Requests delivered later than reserved by fault repair.
+    pub delayed: usize,
+    /// Served requests that missed their original reservation: repair
+    /// delays plus re-enqueued requests served in a later window.
+    pub deadline_misses: usize,
+    /// Queue depth left behind after this cycle's drain.
+    pub queue_depth: usize,
+    /// Simulated nanoseconds the solve cost ([`BudgetModel`] currency).
+    pub sim_ns: u64,
+    /// Whether the realised simulated time overran the budget (the
+    /// model mispredicted; the ladder adapts via the EMA).
+    pub over_budget: bool,
+}
+
+/// Everything [`ServiceLoop::run_cycle`] produced for one cycle: the
+/// committed (post-repair) schedule, its cost, the request sets, and the
+/// service accounting.
+#[derive(Clone, Debug)]
+pub struct ServiceCycleOutcome {
+    /// Service accounting for the cycle.
+    pub stats: ServiceCycleStats,
+    /// The committed schedule (post-repair when faults hit the window;
+    /// empty for an idle cycle).
+    pub schedule: Schedule,
+    /// Ψ of the committed schedule.
+    pub cost: Dollars,
+    /// Ψ of the phase-1 schedule (0 for an idle cycle).
+    pub initial_cost: Dollars,
+    /// Victims committed by overflow resolution.
+    pub victims: usize,
+    /// Whether the schedule is overflow-free.
+    pub overflow_free: bool,
+    /// Warm-start accounting snapshot for the cycle.
+    pub warm: WarmStats,
+    /// The requests the schedule serves, post-repair adjustment
+    /// (delayed requests carry their delivery time).
+    pub served: Vec<Request>,
+    /// The *original* reservations behind the served requests (what the
+    /// caller offered, before any backoff shift), same order as the
+    /// solved batch. Lets callers check that no reservation is served
+    /// twice or resurrected after a drop.
+    pub served_originals: Vec<Request>,
+    /// Requests shed this cycle (ladder + repair), at the start they
+    /// were scheduled for when shed.
+    pub shed_now: Vec<Request>,
+    /// Original reservations dropped permanently this cycle
+    /// (drop-after-N exceeded).
+    pub dropped_now: Vec<Request>,
+}
+
+impl ServiceCycleOutcome {
+    /// Relative cost increase from overflow resolution this cycle.
+    pub fn rel_increase(&self) -> f64 {
+        if self.initial_cost == 0.0 {
+            0.0
+        } else {
+            (self.cost - self.initial_cost) / self.initial_cost
+        }
+    }
+}
+
+/// End-of-run service accounting.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServiceReport {
+    /// Per-cycle stats, in cycle order.
+    pub cycles: Vec<ServiceCycleStats>,
+    /// Total requests offered to intake (including after the last
+    /// cycle ran).
+    pub offered: usize,
+    /// Offers bounced off the queue bound.
+    pub rejected_full: usize,
+    /// Offers rejected by the saturation admission test.
+    pub rejected_saturated: usize,
+    /// Requests served across all committed schedules.
+    pub served: usize,
+    /// Total shed events (a request re-shed after backoff counts once
+    /// per shed).
+    pub shed_events: usize,
+    /// Total backoff re-enqueues.
+    pub deferred_events: usize,
+    /// Requests dropped permanently.
+    pub dropped: usize,
+    /// Total deadline misses among served requests.
+    pub deadline_misses: usize,
+    /// Highest queue depth ever observed at enqueue time.
+    pub queue_high_water: usize,
+    /// `backoff_histogram[i]` counts re-enqueues whose failed-attempt
+    /// count was `i + 1`.
+    pub backoff_histogram: Vec<usize>,
+    /// Requests still queued or parked for a later cycle at finish.
+    pub in_flight: usize,
+}
+
+impl ServiceReport {
+    /// Offers that passed admission and entered the queue.
+    pub fn accepted(&self) -> usize {
+        self.offered - self.rejected_full - self.rejected_saturated
+    }
+
+    /// Conservation balance: every accepted request must be served,
+    /// dropped, or still in flight — exactly once. Zero when the
+    /// accounting is consistent.
+    pub fn conservation_error(&self) -> i64 {
+        self.accepted() as i64 - self.served as i64 - self.dropped as i64 - self.in_flight as i64
+    }
+
+    /// Render as an aligned table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# Service frontend ({} cycles)", self.cycles.len());
+        let _ = writeln!(
+            out,
+            "{:>7}{:>9}{:>9}{:>8}{:>8}{:>8}{:>7}{:>7}{:>7}{:>7}{:>10}",
+            "cycle",
+            "rung",
+            "offered",
+            "admit",
+            "served",
+            "shed",
+            "defer",
+            "drop",
+            "miss",
+            "queue",
+            "sim ms"
+        );
+        for c in &self.cycles {
+            let _ = writeln!(
+                out,
+                "{:>7}{:>9}{:>9}{:>8}{:>8}{:>8}{:>7}{:>7}{:>7}{:>7}{:>10.2}",
+                c.cycle,
+                c.rung.label(),
+                c.offered,
+                c.admitted,
+                c.served,
+                c.shed,
+                c.deferred,
+                c.dropped,
+                c.deadline_misses,
+                c.queue_depth,
+                c.sim_ns as f64 / 1e6,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "totals: offered {} (rejected {} full / {} saturated), served {}, shed {}, \
+             dropped {}, in flight {}, queue high-water {}",
+            self.offered,
+            self.rejected_full,
+            self.rejected_saturated,
+            self.served,
+            self.shed_events,
+            self.dropped,
+            self.in_flight,
+            self.queue_high_water,
+        );
+        out
+    }
+}
+
+/// The long-running cycle-driven service loop. See the module docs.
+pub struct ServiceLoop {
+    cfg: ServiceConfig,
+    warm: WarmState,
+    /// The intake queue, sorted by [`ticket_key`] (oldest deadline
+    /// first). A sorted `Vec` keeps drains a cheap prefix split and
+    /// inserts deterministic.
+    queue: Vec<Ticket>,
+    /// Backoff parking lot: `(eligible_cycle, ticket)`, sorted by
+    /// `(eligible_cycle, ticket_key)`.
+    pending: Vec<(usize, Ticket)>,
+    /// Keys of permanently dropped originals — a dropped request must
+    /// never resurrect.
+    dropped_keys: std::collections::HashSet<(u32, u32, u64)>,
+    budget: BudgetModel,
+    cycle: usize,
+    // Intake counters since the previous cycle ran.
+    offered: usize,
+    rejected_full: usize,
+    rejected_saturated: usize,
+    queue_high_water: usize,
+    backoff_histogram: Vec<usize>,
+    cycles: Vec<ServiceCycleStats>,
+}
+
+impl ServiceLoop {
+    /// Open a service loop over `topo`. Fails when the configured fault
+    /// plan does not validate against the topology — the only poisoned
+    /// input a caller can hand in.
+    pub fn new(topo: &Topology, cfg: ServiceConfig) -> Result<Self, FaultError> {
+        cfg.faults.validate(topo)?;
+        assert!(
+            cfg.horizon.is_finite() && cfg.horizon > 0.0,
+            "cycle horizon must be positive and finite"
+        );
+        Ok(Self {
+            cfg,
+            warm: WarmState::new(topo),
+            queue: Vec::new(),
+            pending: Vec::new(),
+            dropped_keys: std::collections::HashSet::new(),
+            budget: BudgetModel::default(),
+            cycle: 0,
+            offered: 0,
+            rejected_full: 0,
+            rejected_saturated: 0,
+            queue_high_water: 0,
+            backoff_histogram: Vec::new(),
+            cycles: Vec::new(),
+        })
+    }
+
+    /// The carried warm state (committed occupancy, caches, selector).
+    pub fn warm(&self) -> &WarmState {
+        &self.warm
+    }
+
+    /// The budget model's current state.
+    pub fn budget(&self) -> &BudgetModel {
+        &self.budget
+    }
+
+    /// Index of the next cycle [`ServiceLoop::run_cycle`] will run.
+    pub fn cycle(&self) -> usize {
+        self.cycle
+    }
+
+    /// Current intake-queue depth.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Requests parked for a later cycle by backoff.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Offer one arriving request to the intake queue. Rejection is
+    /// typed backpressure: the request was not enqueued, and the
+    /// rejection is recorded in the next cycle's stats.
+    pub fn offer(&mut self, r: Request) -> Result<(), IntakeError> {
+        self.offered += 1;
+        if let Some(limit) = self.cfg.saturation_bytes {
+            let spillover = self.warm.committed().spillover_at(r.start);
+            if spillover >= limit {
+                self.rejected_saturated += 1;
+                return Err(IntakeError::Saturated {
+                    spillover_bytes: spillover,
+                    limit_bytes: limit,
+                });
+            }
+        }
+        if let Some(bound) = self.cfg.queue_bound {
+            if self.queue.len() >= bound {
+                self.rejected_full += 1;
+                return Err(IntakeError::QueueFull { bound });
+            }
+        }
+        self.enqueue(Ticket { request: r, original: r, attempts: 0 });
+        Ok(())
+    }
+
+    /// Sorted insert preserving the oldest-deadline-first order.
+    fn enqueue(&mut self, t: Ticket) {
+        let key = ticket_key(&t);
+        let at = self.queue.partition_point(|q| ticket_key(q) <= key);
+        self.queue.insert(at, t);
+        self.queue_high_water = self.queue_high_water.max(self.queue.len());
+    }
+
+    /// Give a failed ticket its next life: count the attempt, drop it
+    /// permanently past the policy's limit (returning the dropped
+    /// original so the cycle outcome can report it), otherwise park it
+    /// for `now + backoff` cycles with its start shifted into that
+    /// window.
+    fn defer_or_drop(
+        &mut self,
+        mut t: Ticket,
+        now: usize,
+        stats: &mut ServiceCycleStats,
+    ) -> Option<Request> {
+        t.attempts += 1;
+        if t.attempts > self.cfg.backoff.drop_after {
+            self.dropped_keys.insert(request_key(&t.original));
+            stats.dropped += 1;
+            return Some(t.original);
+        }
+        let eligible = now + self.cfg.backoff.delay(t.attempts);
+        let slot = t.original.start.rem_euclid(self.cfg.horizon);
+        t.request.start = eligible as f64 * self.cfg.horizon + slot;
+        let idx = t.attempts as usize - 1;
+        if self.backoff_histogram.len() <= idx {
+            self.backoff_histogram.resize(idx + 1, 0);
+        }
+        self.backoff_histogram[idx] += 1;
+        stats.deferred += 1;
+        let key = (eligible, ticket_key(&t));
+        let at = self.pending.partition_point(|(e, q)| (*e, ticket_key(q)) <= key);
+        self.pending.insert(at, (eligible, t));
+        None
+    }
+
+    /// Run one scheduling cycle: release due backoff parkings, drain the
+    /// window's batch, pick the ladder rung, solve, repair against the
+    /// window's faults, and account everything.
+    pub fn run_cycle(&mut self, ctx: &SchedCtx<'_>, mode: ExecMode) -> ServiceCycleOutcome {
+        let k = self.cycle;
+        let t0 = k as f64 * self.cfg.horizon;
+        let window_end = (k + 1) as f64 * self.cfg.horizon;
+        let mut stats = ServiceCycleStats {
+            cycle: k,
+            offered: self.offered,
+            rejected_full: self.rejected_full,
+            rejected_saturated: self.rejected_saturated,
+            ..ServiceCycleStats::default()
+        };
+        self.offered = 0;
+        self.rejected_full = 0;
+        self.rejected_saturated = 0;
+
+        // 1. Release backoff parkings that became eligible. The bound
+        //    still applies: a re-enqueue bouncing off a full queue is
+        //    one more failed attempt.
+        let mut dropped_now: Vec<Request> = Vec::new();
+        let due = self.pending.partition_point(|(e, _)| *e <= k);
+        let released: Vec<Ticket> = self.pending.drain(..due).map(|(_, t)| t).collect();
+        for t in released {
+            let full = self.cfg.queue_bound.is_some_and(|b| self.queue.len() >= b);
+            if full {
+                dropped_now.extend(self.defer_or_drop(t, k + 1, &mut stats));
+            } else {
+                self.enqueue(t);
+            }
+        }
+
+        // 2. Drain this window's batch (starts before the window end).
+        let cut = self.queue.partition_point(|t| t.request.start < window_end);
+        let mut kept: Vec<Ticket> = self.queue.drain(..cut).collect();
+        stats.admitted = kept.len();
+        stats.queue_depth = self.queue.len();
+
+        // 3. Pick the ladder rung from the simulated-time budget model.
+        let (rung, keep) = self.budget.pick(kept.len(), self.cfg.budget_ns);
+        stats.rung = rung;
+
+        // 4. Heat-ranked shedding: lowest heat (fewest same-video
+        //    requests in the batch) goes first, ties broken on
+        //    (video, user, start) — the repair scheduler's convention.
+        let mut shed_now: Vec<Request> = Vec::new();
+        if keep < kept.len() {
+            let mut heat: HashMap<u32, usize> = HashMap::new();
+            for t in &kept {
+                *heat.entry(t.request.video.0).or_insert(0) += 1;
+            }
+            let mut order: Vec<usize> = (0..kept.len()).collect();
+            order.sort_by(|&a, &b| {
+                let (ra, rb) = (&kept[a].request, &kept[b].request);
+                (heat[&ra.video.0], ra.video.0, ra.user.0)
+                    .cmp(&(heat[&rb.video.0], rb.video.0, rb.user.0))
+                    .then(ra.start.total_cmp(&rb.start))
+            });
+            let shed_idx: std::collections::HashSet<usize> =
+                order[..kept.len() - keep].iter().copied().collect();
+            let mut solved = Vec::with_capacity(keep);
+            for (i, t) in kept.into_iter().enumerate() {
+                if shed_idx.contains(&i) {
+                    stats.shed += 1;
+                    shed_now.push(t.request);
+                    dropped_now.extend(self.defer_or_drop(t, k, &mut stats));
+                } else {
+                    solved.push(t);
+                }
+            }
+            kept = solved;
+        }
+
+        // 5. Solve on the chosen rung. An empty batch still opens the
+        //    cycle (eviction + stats) so idle ticks stay visible.
+        let batch = RequestBatch::new(kept.iter().map(|t| t.request).collect());
+        let mut shard_cfg = self.cfg.shard.clone();
+        match rung {
+            Rung::Full => {}
+            Rung::ReducedTrials => {
+                shard_cfg.sorp.max_iterations =
+                    shard_cfg.sorp.max_iterations.min(self.cfg.reduced_trials);
+            }
+            Rung::GreedyOnly | Rung::Shed => shard_cfg.sorp.max_iterations = 0,
+        }
+        let solve_started = std::time::Instant::now();
+        let (mut schedule, mut cost, initial_cost, victims, overflow_free, iterations, fallbacks) =
+            if batch.is_empty() {
+                self.warm.begin_cycle(ctx, t0);
+                (Schedule::new(), 0.0, 0.0, 0, true, 0, 0)
+            } else {
+                let out = shard_solve_warm(ctx, &batch, &shard_cfg, &mut self.warm, t0, mode);
+                (
+                    out.sorp.schedule,
+                    out.sorp.cost,
+                    out.sorp.initial_cost,
+                    out.sorp.victims.len(),
+                    out.sorp.overflow_free,
+                    out.sorp.iterations,
+                    out.sorp.forced_fallbacks,
+                )
+            };
+        // Reporting only — no decision ever reads this (the ladder runs
+        // on simulated time), so determinism is preserved.
+        self.warm.stats.solve_ns = solve_started.elapsed().as_nanos() as u64;
+        let warm_stats = self.warm.stats.clone();
+
+        // 6. Feed the budget model with the solve's simulated time.
+        let sim_ns = BudgetModel::simulated_ns(batch.len(), iterations, victims, fallbacks);
+        stats.sim_ns = sim_ns;
+        stats.over_budget = self.cfg.budget_ns.is_some_and(|b| sim_ns as f64 > b);
+        self.budget.observe(rung, batch.len(), sim_ns);
+
+        // 7. Repair against the window's faults; displaced requests
+        //    re-enter the backoff pipeline.
+        let mut served: Vec<Request> = batch.iter().copied().collect();
+        // Pair each batch entry with its original reservation (the batch
+        // is the kept multiset, normalized), so the outcome can report
+        // what the caller actually offered.
+        let mut origin: HashMap<(u32, u32, u64), Vec<Request>> = HashMap::new();
+        for t in &kept {
+            origin.entry(request_key(&t.request)).or_default().push(t.original);
+        }
+        let mut survivors: Vec<(Request, Request)> = batch
+            .iter()
+            .map(|r| {
+                let orig = origin.get_mut(&request_key(r)).and_then(Vec::pop).unwrap_or(*r);
+                (*r, orig)
+            })
+            .collect();
+        let cycle_faults: Vec<Fault> = self
+            .cfg
+            .faults
+            .faults()
+            .iter()
+            .filter(|f| f.overlaps(t0, window_end))
+            .copied()
+            .collect();
+        if !cycle_faults.is_empty() && !served.is_empty() {
+            let sub = FaultPlan::new(cycle_faults);
+            let priced = PricedSchedule::price(ctx, schedule);
+            // The sub-plan is a subset of the plan `new` validated
+            // against this topology, so validation cannot fail here.
+            let repair = repair_schedule(ctx, priced, &sub, &self.cfg.repair)
+                .expect("sub-plan of the plan validated at construction");
+            if !repair.shed.is_empty() {
+                // Map repair-shed requests back to their tickets so
+                // attempts and originals survive the round trip.
+                let mut by_key: HashMap<(u32, u32, u64), Vec<Ticket>> = HashMap::new();
+                for t in &kept {
+                    by_key.entry(request_key(&t.request)).or_default().push(*t);
+                }
+                for s in &repair.shed {
+                    stats.shed += 1;
+                    shed_now.push(s.request);
+                    if let Some(pos) = survivors
+                        .iter()
+                        .position(|(c, _)| request_key(c) == request_key(&s.request))
+                    {
+                        survivors.remove(pos);
+                    }
+                    let t = by_key
+                        .get_mut(&request_key(&s.request))
+                        .and_then(Vec::pop)
+                        .unwrap_or(Ticket { request: s.request, original: s.request, attempts: 0 });
+                    dropped_now.extend(self.defer_or_drop(t, k, &mut stats));
+                }
+            }
+            stats.delayed = repair.delayed.len();
+            served = repair.adjusted_requests(&served);
+            self.warm.absorb_repaired(ctx, repair.priced.schedule(), &repair.repaired_videos);
+            cost = repair.cost();
+            schedule = repair.priced.schedule().clone();
+        }
+
+        // A request is late when repair delayed it or when backoff moved
+        // it into a window after its original reservation.
+        let shed_keys: std::collections::HashSet<(u32, u32, u64)> =
+            shed_now.iter().map(request_key).collect();
+        stats.deadline_misses = stats.delayed
+            + kept
+                .iter()
+                .filter(|t| t.attempts > 0 && !shed_keys.contains(&request_key(&t.request)))
+                .count();
+        stats.served = served.len();
+
+        self.cycle += 1;
+        self.cycles.push(stats.clone());
+        ServiceCycleOutcome {
+            stats,
+            schedule,
+            cost,
+            initial_cost,
+            victims,
+            overflow_free,
+            warm: warm_stats,
+            served,
+            served_originals: survivors.into_iter().map(|(_, o)| o).collect(),
+            shed_now,
+            dropped_now,
+        }
+    }
+
+    /// Close the loop and aggregate the [`ServiceReport`].
+    pub fn finish(self) -> ServiceReport {
+        let sum = |f: fn(&ServiceCycleStats) -> usize| self.cycles.iter().map(f).sum::<usize>();
+        ServiceReport {
+            offered: sum(|c| c.offered) + self.offered,
+            rejected_full: sum(|c| c.rejected_full) + self.rejected_full,
+            rejected_saturated: sum(|c| c.rejected_saturated) + self.rejected_saturated,
+            served: sum(|c| c.served),
+            shed_events: sum(|c| c.shed),
+            deferred_events: sum(|c| c.deferred),
+            dropped: sum(|c| c.dropped),
+            deadline_misses: sum(|c| c.deadline_misses),
+            queue_high_water: self.queue_high_water,
+            backoff_histogram: self.backoff_histogram,
+            in_flight: self.queue.len() + self.pending.len(),
+            cycles: self.cycles,
+        }
+    }
+}
+
+/// Drive a [`ServiceLoop`] over an arrival trace for `n_cycles` cycles:
+/// before cycle `k` runs, every arrival with `at ≤ k·horizon` is offered
+/// to intake (rejections are recorded, not returned). `arrivals` must be
+/// sorted by arrival time, as [`vod_workload::generate_arrivals`]
+/// produces them.
+pub fn service_run(
+    ctx: &SchedCtx<'_>,
+    arrivals: &[Arrival],
+    cfg: &ServiceConfig,
+    n_cycles: usize,
+    mode: ExecMode,
+) -> Result<(Vec<ServiceCycleOutcome>, ServiceReport), FaultError> {
+    debug_assert!(
+        arrivals.windows(2).all(|w| w[0].at <= w[1].at),
+        "arrival trace must be sorted by arrival time"
+    );
+    let mut svc = ServiceLoop::new(ctx.topo, cfg.clone())?;
+    let mut next = 0usize;
+    let mut outcomes = Vec::with_capacity(n_cycles);
+    for k in 0..n_cycles {
+        let t0 = k as f64 * cfg.horizon;
+        while next < arrivals.len() && arrivals[next].at <= t0 {
+            // Backpressure is accounted in the cycle stats; the driver
+            // has no caller to propagate it to.
+            let _ = svc.offer(arrivals[next].request);
+            next += 1;
+        }
+        outcomes.push(svc.run_cycle(ctx, mode));
+    }
+    Ok((outcomes, svc.finish()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_cost_model::CostModel;
+    use vod_topology::builders::{paper_fig4, PaperFig4Config};
+    use vod_workload::{generate_arrivals, generate_catalog, ArrivalConfig, CatalogConfig};
+
+    const H: Secs = 24.0 * 3_600.0;
+
+    fn world(seed: u64) -> (vod_topology::Topology, vod_cost_model::Catalog) {
+        let topo = paper_fig4(&PaperFig4Config { capacity_gb: 5.0, ..Default::default() });
+        let catalog = generate_catalog(&CatalogConfig::small(40), seed ^ 0xC0FFEE);
+        (topo, catalog)
+    }
+
+    fn arrivals_for(
+        topo: &vod_topology::Topology,
+        catalog: &vod_cost_model::Catalog,
+        cycles: usize,
+        seed: u64,
+    ) -> Vec<Arrival> {
+        generate_arrivals(
+            topo,
+            catalog,
+            &ArrivalConfig { cycles, ..ArrivalConfig::default() },
+            seed,
+        )
+    }
+
+    #[test]
+    fn budget_pick_walks_the_ladder_monotonically() {
+        let m = BudgetModel::default();
+        let n = 1_000;
+        assert_eq!(m.pick(n, None), (Rung::Full, n));
+        let full = m.predict(Rung::Full, n);
+        let reduced = m.predict(Rung::ReducedTrials, n);
+        let greedy = m.predict(Rung::GreedyOnly, n);
+        assert_eq!(m.pick(n, Some(full)), (Rung::Full, n));
+        assert_eq!(m.pick(n, Some(reduced)), (Rung::ReducedTrials, n));
+        assert_eq!(m.pick(n, Some(greedy)), (Rung::GreedyOnly, n));
+        let (rung, keep) = m.pick(n, Some(greedy / 2.0));
+        assert_eq!(rung, Rung::Shed);
+        assert!(keep < n, "shed rung must solve strictly fewer requests");
+        // Empty cycles never shed.
+        assert_eq!(m.pick(0, Some(1.0)), (Rung::Full, 0));
+    }
+
+    #[test]
+    fn budget_observe_adapts_the_unit_cost() {
+        let mut m = BudgetModel::default();
+        let before = m.predict(Rung::Full, 100);
+        m.observe(Rung::Full, 100, (before * 3.0) as u64);
+        assert!(m.predict(Rung::Full, 100) > before);
+        // Degenerate observations are ignored.
+        let now = m.predict(Rung::Full, 100);
+        m.observe(Rung::Full, 0, 1);
+        assert_eq!(m.predict(Rung::Full, 100), now);
+    }
+
+    #[test]
+    fn backoff_delay_is_capped_exponential() {
+        let p = BackoffPolicy::default();
+        assert_eq!(p.delay(1), 1);
+        assert_eq!(p.delay(2), 2);
+        assert_eq!(p.delay(3), 4);
+        assert_eq!(p.delay(4), 8);
+        assert_eq!(p.delay(5), 8, "delay must cap at max_cycles");
+        assert_eq!(p.delay(30), 8, "huge attempt counts must not overflow");
+    }
+
+    #[test]
+    fn queue_bound_produces_typed_backpressure() {
+        let (topo, catalog) = world(1);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+        let cfg = ServiceConfig { queue_bound: Some(3), ..ServiceConfig::default() };
+        let mut svc = ServiceLoop::new(&topo, cfg).expect("empty plan validates");
+        let arrivals = arrivals_for(&topo, &catalog, 1, 11);
+        let mut rejected = 0;
+        for a in &arrivals {
+            match svc.offer(a.request) {
+                Ok(()) => {}
+                Err(IntakeError::QueueFull { bound }) => {
+                    assert_eq!(bound, 3);
+                    rejected += 1;
+                }
+                Err(e) => panic!("unexpected intake error {e}"),
+            }
+        }
+        assert_eq!(svc.queue_len(), 3);
+        assert_eq!(rejected, arrivals.len() - 3);
+        let out = svc.run_cycle(&ctx, ExecMode::Sequential);
+        assert_eq!(out.stats.admitted, 3);
+        assert_eq!(out.stats.rejected_full, rejected);
+        let report = svc.finish();
+        assert_eq!(report.queue_high_water, 3);
+        assert_eq!(report.conservation_error(), 0);
+    }
+
+    #[test]
+    fn saturation_admission_rejects_before_enqueue() {
+        let (topo, catalog) = world(2);
+        let cfg = ServiceConfig { saturation_bytes: Some(0.0), ..ServiceConfig::default() };
+        let mut svc = ServiceLoop::new(&topo, cfg).expect("empty plan validates");
+        // A zero-byte limit saturates immediately (spillover ≥ 0 always).
+        let arrivals = arrivals_for(&topo, &catalog, 1, 3);
+        let err = svc.offer(arrivals[0].request).unwrap_err();
+        assert!(matches!(err, IntakeError::Saturated { .. }));
+        assert_eq!(svc.queue_len(), 0);
+    }
+
+    #[test]
+    fn idle_cycles_still_report() {
+        let (topo, catalog) = world(3);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+        let (outcomes, report) =
+            service_run(&ctx, &[], &ServiceConfig::default(), 3, ExecMode::Sequential)
+                .expect("empty plan validates");
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(report.cycles.len(), 3);
+        for o in &outcomes {
+            assert_eq!(o.stats.admitted, 0);
+            assert_eq!(o.cost, 0.0);
+            assert!(o.overflow_free);
+        }
+        assert_eq!(report.conservation_error(), 0);
+    }
+
+    #[test]
+    fn oracle_run_serves_every_arrival() {
+        let (topo, catalog) = world(4);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+        let arrivals = arrivals_for(&topo, &catalog, 3, 7);
+        let (outcomes, report) =
+            service_run(&ctx, &arrivals, &ServiceConfig::default(), 3, ExecMode::Sequential)
+                .expect("empty plan validates");
+        assert_eq!(report.served, arrivals.len());
+        assert_eq!(report.shed_events, 0);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.conservation_error(), 0);
+        for o in &outcomes {
+            assert_eq!(o.stats.rung, Rung::Full);
+            assert!(o.overflow_free);
+            assert_eq!(o.schedule.delivery_count(), o.served.len());
+        }
+        let text = report.render();
+        assert!(text.contains("full"));
+        assert_eq!(
+            text.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn tiny_budget_sheds_by_heat_rank_and_backs_off() {
+        let (topo, catalog) = world(5);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+        let arrivals = arrivals_for(&topo, &catalog, 2, 9);
+        // Budget fits only a handful of greedy-only requests per cycle.
+        let cfg = ServiceConfig {
+            budget_ns: Some(5.0 * 4_200.0),
+            backoff: BackoffPolicy { drop_after: 1, ..BackoffPolicy::default() },
+            ..ServiceConfig::default()
+        };
+        let (outcomes, report) =
+            service_run(&ctx, &arrivals, &cfg, 4, ExecMode::Sequential).expect("valid");
+        assert!(outcomes.iter().any(|o| o.stats.rung == Rung::Shed));
+        assert!(report.shed_events > 0);
+        assert!(report.dropped > 0, "drop-after-1 must drop re-shed requests");
+        assert_eq!(report.conservation_error(), 0);
+        // Shed disposition: every shed event became a deferral or a drop.
+        assert_eq!(report.shed_events, report.deferred_events + report.dropped);
+        // Backoff histogram counts exactly the deferred events.
+        assert_eq!(report.backoff_histogram.iter().sum::<usize>(), report.deferred_events);
+    }
+
+    #[test]
+    fn dropped_requests_never_resurrect() {
+        let (topo, catalog) = world(6);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+        let arrivals = arrivals_for(&topo, &catalog, 1, 13);
+        let cfg = ServiceConfig {
+            budget_ns: Some(2.0 * 4_200.0),
+            backoff: BackoffPolicy { drop_after: 1, base_cycles: 1, max_cycles: 2 },
+            ..ServiceConfig::default()
+        };
+        let (outcomes, report) =
+            service_run(&ctx, &arrivals, &cfg, 6, ExecMode::Sequential).expect("valid");
+        assert!(report.dropped > 0);
+        // Once a cycle drops a request, no later cycle may serve one
+        // descending from the same original reservation.
+        let mut dropped_so_far = 0usize;
+        for o in &outcomes {
+            if dropped_so_far > 0 {
+                // Served keys can never exceed what is still alive.
+                assert!(o.served.len() + dropped_so_far <= arrivals.len());
+            }
+            dropped_so_far += o.stats.dropped;
+        }
+        assert_eq!(report.conservation_error(), 0);
+    }
+
+    #[test]
+    fn fault_window_triggers_inline_repair() {
+        let (topo, catalog) = world(7);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+        let arrivals = arrivals_for(&topo, &catalog, 2, 15);
+        // Outage of a storage across the whole first window.
+        let victim = topo.storages().next().expect("a storage exists");
+        let cfg = ServiceConfig {
+            faults: FaultPlan::new(vec![Fault::NodeOutage { node: victim, from: 0.0, until: H }]),
+            ..ServiceConfig::default()
+        };
+        let (outcomes, report) =
+            service_run(&ctx, &arrivals, &cfg, 2, ExecMode::Sequential).expect("valid plan");
+        // The repaired schedule must not cache at the down node in the
+        // outage window.
+        let space = model.space_model();
+        for r in outcomes[0].schedule.residencies() {
+            let p = r.profile_with(catalog.get(r.video), space);
+            assert!(
+                !(r.loc == victim && p.peak() > 0.0 && p.start < H),
+                "repair left data on the down node"
+            );
+        }
+        assert_eq!(report.conservation_error(), 0);
+    }
+
+    #[test]
+    fn invalid_fault_plan_is_a_typed_error() {
+        let (topo, _) = world(8);
+        let cfg = ServiceConfig {
+            faults: FaultPlan::new(vec![Fault::NodeOutage {
+                node: topo.warehouse(),
+                from: 0.0,
+                until: 1.0,
+            }]),
+            ..ServiceConfig::default()
+        };
+        let err = ServiceLoop::new(&topo, cfg).map(|_| ()).unwrap_err();
+        assert_eq!(err, FaultError::WarehouseOutage(topo.warehouse()));
+    }
+}

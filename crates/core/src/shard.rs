@@ -173,7 +173,7 @@ pub fn shard_solve_seeded(
     // Per-shard pipeline: IVSP then a full resolution pass, each under
     // the inner (sequential) mode — the fan-out across shards is where
     // this call's parallelism lives.
-    let mut states = map_with_mode(mode, &batches, |shard_batch| {
+    let states = map_with_mode(mode, &batches, |shard_batch| {
         let priced = ivsp_solve_priced_with(ctx, shard_batch, cfg.sorp.policy, mode.inner());
         let mut state = SolveState::new(ctx, priced, &cfg.sorp, external);
         state.resolve(ctx, &cfg.sorp, mode.inner());
@@ -193,24 +193,26 @@ pub fn shard_solve_seeded(
         })
         .collect();
 
-    if states.len() == 1 {
-        // One shard is the monolithic pipeline verbatim: reuse the
-        // shard's state (and its delta-accumulated running total) so the
-        // output is bit-identical to `sorp_solve_priced` on the whole
-        // batch.
-        let state = states.pop().expect("one shard is present");
-        return ShardOutcome {
-            sorp: state.into_outcome(ctx),
-            shards: 1,
-            per_shard,
-            split_videos: 0,
-            shared_storages: 0,
-            cross_shard_overflows: 0,
-            reconcile_iterations: 0,
-            reconcile_victims: 0,
-            trials_transplanted: 0,
-        };
-    }
+    // One shard is the monolithic pipeline verbatim: reuse the shard's
+    // state (and its delta-accumulated running total) so the output is
+    // bit-identical to `sorp_solve_priced` on the whole batch. The array
+    // pattern proves the shard exists — no panic path.
+    let states = match <[SolveState; 1]>::try_from(states) {
+        Ok([state]) => {
+            return ShardOutcome {
+                sorp: state.into_outcome(ctx),
+                shards: 1,
+                per_shard,
+                split_videos: 0,
+                shared_storages: 0,
+                cross_shard_overflows: 0,
+                reconcile_iterations: 0,
+                reconcile_victims: 0,
+                trials_transplanted: 0,
+            };
+        }
+        Err(states) => states,
+    };
 
     // Which videos landed in several shards, and which storages hold
     // residencies from several shards — both straight off the per-shard
@@ -399,23 +401,27 @@ pub fn shard_solve_warm(
         })
         .collect();
 
-    if states.len() == 1 {
-        let mut state = states.pop().expect("one shard is present");
-        warm.harvest(&mut state);
-        let sorp = state.into_outcome(ctx);
-        warm.absorb_schedule(ctx, &sorp.schedule);
-        return ShardOutcome {
-            sorp,
-            shards: 1,
-            per_shard,
-            split_videos: 0,
-            shared_storages: 0,
-            cross_shard_overflows: 0,
-            reconcile_iterations: 0,
-            reconcile_victims: 0,
-            trials_transplanted: 0,
-        };
-    }
+    // As in the cold path: the array pattern proves the single shard
+    // exists, so there is no panic path.
+    let states = match <[SolveState; 1]>::try_from(states) {
+        Ok([mut state]) => {
+            warm.harvest(&mut state);
+            let sorp = state.into_outcome(ctx);
+            warm.absorb_schedule(ctx, &sorp.schedule);
+            return ShardOutcome {
+                sorp,
+                shards: 1,
+                per_shard,
+                split_videos: 0,
+                shared_storages: 0,
+                cross_shard_overflows: 0,
+                reconcile_iterations: 0,
+                reconcile_victims: 0,
+                trials_transplanted: 0,
+            };
+        }
+        Err(states) => states,
+    };
 
     let mut video_shards: BTreeMap<VideoId, usize> = BTreeMap::new();
     let mut storage_shards: BTreeMap<NodeId, BTreeSet<usize>> = BTreeMap::new();

@@ -298,7 +298,22 @@ impl WarmState {
             pairs[gi] = Some((vs, cost));
         }
         PricedSchedule::from_priced_videos(
-            pairs.into_iter().map(|p| p.expect("every group is priced")).collect(),
+            pairs
+                .into_iter()
+                .zip(&groups)
+                .map(|(p, &(_, group))| {
+                    // Every slot was filled above (memo hit or fresh
+                    // greedy). If the invariant ever breaks, re-running
+                    // the pure greedy is bit-identical to the missing
+                    // fill — degrade to that instead of panicking under
+                    // the service loop.
+                    p.unwrap_or_else(|| {
+                        let vs = crate::find_video_schedule_with(ctx, group, policy);
+                        let cost = ctx.video_cost(&vs);
+                        (vs, cost)
+                    })
+                })
+                .collect(),
         )
     }
 
@@ -374,6 +389,22 @@ impl WarmState {
     pub fn absorb_schedule(&mut self, ctx: &SchedCtx<'_>, schedule: &Schedule) {
         for r in schedule.residencies() {
             self.committed.commit(r.loc, r.profile(ctx.catalog.get(r.video)));
+        }
+    }
+
+    /// Commit the residencies of `videos` from a *repaired* schedule on
+    /// top of an already-absorbed pre-repair schedule. The pre-repair
+    /// residencies of the repaired videos stay committed too — a
+    /// conservative over-commitment (the service loop would rather
+    /// over-reserve than let a later cycle squat on space a repair moved
+    /// away from), bounded because expired profiles are evicted at every
+    /// cycle boundary.
+    pub fn absorb_repaired(&mut self, ctx: &SchedCtx<'_>, schedule: &Schedule, videos: &[VideoId]) {
+        for &vid in videos {
+            let Some(vs) = schedule.video(vid) else { continue };
+            for r in &vs.residencies {
+                self.committed.commit(r.loc, r.profile(ctx.catalog.get(r.video)));
+            }
         }
     }
 }

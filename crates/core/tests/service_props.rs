@@ -1,0 +1,236 @@
+//! Property tests for the async service frontend: with an infinite
+//! budget and an unbounded queue the service loop must be bit-identical
+//! to the plain rolling warm loop on the same arrivals, no reservation
+//! may be both served and shed in the same cycle, a dropped reservation
+//! must never resurrect, and the ladder's rung trace must be a
+//! deterministic function of the trace + config (identical across
+//! repeated runs and across `ExecMode`s).
+
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+use vod_core::{
+    service_run, shard_solve_warm, BackoffPolicy, ExecMode, Rung, SchedCtx, ServiceConfig,
+    WarmState,
+};
+use vod_cost_model::{Catalog, CostModel, Request, RequestBatch};
+use vod_topology::Topology;
+use vod_workload::{generate_arrivals, generate_catalog, Arrival, ArrivalConfig, CatalogConfig};
+
+const HORIZON: f64 = 24.0 * 3_600.0;
+
+fn world(seed: u64) -> (Topology, Catalog) {
+    let topo = vod_topology::builders::paper_fig4(&vod_topology::builders::PaperFig4Config {
+        capacity_gb: 5.0,
+        ..Default::default()
+    });
+    let catalog = generate_catalog(&CatalogConfig::small(30), seed ^ 0xC0FFEE);
+    (topo, catalog)
+}
+
+fn arrivals_for(
+    topo: &Topology,
+    catalog: &Catalog,
+    seed: u64,
+    cycles: usize,
+    burst: Vec<(usize, usize)>,
+) -> Vec<Arrival> {
+    generate_arrivals(topo, catalog, &ArrivalConfig { cycles, burst, ..Default::default() }, seed)
+}
+
+fn key(r: &Request) -> (u32, u32, u64) {
+    (r.user.0, r.video.0, r.start.to_bits())
+}
+
+fn key_counts<'a>(reqs: impl Iterator<Item = &'a Request>) -> HashMap<(u32, u32, u64), usize> {
+    let mut m = HashMap::new();
+    for r in reqs {
+        *m.entry(key(r)).or_insert(0) += 1;
+    }
+    m
+}
+
+/// An overload config: tight simulated budget, shallow queue patience.
+fn overload_cfg(drop_after: u32) -> ServiceConfig {
+    ServiceConfig {
+        budget_ns: Some(120.0 * 9_700.0),
+        backoff: BackoffPolicy { base_cycles: 1, max_cycles: 4, drop_after },
+        ..ServiceConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// With the default (oracle) config — no budget, no queue bound, no
+    /// faults — the service loop is the rolling warm loop: per-cycle Ψ
+    /// is bit-identical and the delivered request multiset matches the
+    /// window's batch exactly.
+    #[test]
+    fn infinite_budget_service_is_bit_identical_to_warm_loop(
+        seed in 0u64..500,
+        cycles in 2usize..4,
+    ) {
+        let (topo, catalog) = world(seed);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+        let arrivals = arrivals_for(&topo, &catalog, seed, cycles, vec![]);
+
+        let cfg = ServiceConfig::default();
+        let (outcomes, report) =
+            service_run(&ctx, &arrivals, &cfg, cycles, ExecMode::Sequential).unwrap();
+
+        let mut warm = WarmState::new(&topo);
+        for (k, out) in outcomes.iter().enumerate() {
+            let t0 = k as f64 * HORIZON;
+            let window: Vec<Request> = arrivals
+                .iter()
+                .map(|a| a.request)
+                .filter(|r| r.start >= t0 && r.start < t0 + HORIZON)
+                .collect();
+            let batch = RequestBatch::new(window);
+            let manual =
+                shard_solve_warm(&ctx, &batch, &cfg.shard, &mut warm, t0, ExecMode::Sequential);
+            prop_assert_eq!(
+                out.cost.to_bits(),
+                manual.sorp.cost.to_bits(),
+                "cycle {} Ψ diverged from the plain warm loop",
+                k
+            );
+            prop_assert_eq!(out.stats.rung, Rung::Full);
+            prop_assert_eq!(out.stats.shed, 0);
+            prop_assert_eq!(
+                key_counts(out.served.iter()),
+                key_counts(batch.iter()),
+                "cycle {} served a different request multiset",
+                k
+            );
+        }
+        prop_assert_eq!(report.served, arrivals.len());
+        prop_assert_eq!(report.dropped, 0);
+        prop_assert_eq!(report.conservation_error(), 0);
+    }
+
+    /// Under overload no reservation is both served and shed in the
+    /// same cycle, and across the whole run nothing is served more
+    /// often than it arrived.
+    #[test]
+    fn no_request_is_both_served_and_shed(
+        seed in 0u64..500,
+        burst_cycle in 0usize..3,
+    ) {
+        let (topo, catalog) = world(seed);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+        let cycles = 4usize;
+        let arrivals =
+            arrivals_for(&topo, &catalog, seed, cycles, vec![(burst_cycle, 3)]);
+        let cfg = overload_cfg(2);
+        let (outcomes, report) =
+            service_run(&ctx, &arrivals, &cfg, cycles + 4, ExecMode::Sequential).unwrap();
+
+        for out in &outcomes {
+            let served = key_counts(out.served.iter());
+            let shed = key_counts(out.shed_now.iter());
+            for k in shed.keys() {
+                prop_assert!(
+                    !served.contains_key(k),
+                    "cycle {} both served and shed {:?}",
+                    out.stats.cycle, k
+                );
+            }
+        }
+
+        // No original reservation is served more often than offered.
+        let offered = key_counts(arrivals.iter().map(|a| &a.request));
+        let served_all =
+            key_counts(outcomes.iter().flat_map(|o| o.served_originals.iter()));
+        for (k, n) in &served_all {
+            prop_assert!(
+                n <= offered.get(k).unwrap_or(&0),
+                "reservation {:?} served {} times but offered fewer",
+                k, n
+            );
+        }
+        prop_assert_eq!(report.conservation_error(), 0);
+    }
+
+    /// Once the backoff policy drops a reservation it stays dropped:
+    /// its key never reappears among later cycles' served originals.
+    #[test]
+    fn dropped_requests_never_resurrect(
+        seed in 0u64..500,
+        drop_after in 0u32..2,
+    ) {
+        let (topo, catalog) = world(seed);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+        let cycles = 3usize;
+        let arrivals = arrivals_for(&topo, &catalog, seed, cycles, vec![(0, 4)]);
+        let cfg = overload_cfg(drop_after);
+        let (outcomes, report) =
+            service_run(&ctx, &arrivals, &cfg, cycles + 5, ExecMode::Sequential).unwrap();
+
+        let offered = key_counts(arrivals.iter().map(|a| &a.request));
+        let mut dropped: HashSet<(u32, u32, u64)> = HashSet::new();
+        let mut total_dropped = 0usize;
+        for out in &outcomes {
+            for r in &out.served_originals {
+                // Keys with arrival multiplicity > 1 can legitimately
+                // have one copy dropped and another served.
+                if offered.get(&key(r)) == Some(&1) {
+                    prop_assert!(
+                        !dropped.contains(&key(r)),
+                        "cycle {} resurrected dropped reservation {:?}",
+                        out.stats.cycle, key(r)
+                    );
+                }
+            }
+            for r in &out.dropped_now {
+                dropped.insert(key(r));
+            }
+            total_dropped += out.dropped_now.len();
+            prop_assert_eq!(out.dropped_now.len(), out.stats.dropped);
+        }
+        prop_assert_eq!(total_dropped, report.dropped);
+        prop_assert_eq!(report.conservation_error(), 0);
+    }
+
+    /// The rung trace — and every per-cycle counter — is deterministic:
+    /// identical across repeated runs and across `ExecMode`s, because
+    /// ladder decisions run on simulated time only.
+    #[test]
+    fn rung_trace_is_deterministic_across_runs_and_modes(
+        seed in 0u64..500,
+        burst in 2usize..4,
+    ) {
+        let (topo, catalog) = world(seed);
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &catalog);
+        let cycles = 3usize;
+        let arrivals = arrivals_for(&topo, &catalog, seed, cycles, vec![(1, burst)]);
+        let cfg = overload_cfg(2);
+
+        let runs: Vec<_> = [ExecMode::Sequential, ExecMode::Parallel, ExecMode::Sequential]
+            .iter()
+            .map(|&mode| service_run(&ctx, &arrivals, &cfg, cycles + 2, mode).unwrap())
+            .collect();
+        let (base_out, base_rep) = &runs[0];
+        for (out, rep) in &runs[1..] {
+            for (a, b) in base_out.iter().zip(out.iter()) {
+                prop_assert_eq!(&a.stats, &b.stats, "cycle stats diverged across runs");
+                prop_assert_eq!(
+                    a.cost.to_bits(),
+                    b.cost.to_bits(),
+                    "cycle {} Ψ diverged across runs",
+                    a.stats.cycle
+                );
+            }
+            prop_assert_eq!(base_rep.dropped, rep.dropped);
+            prop_assert_eq!(base_rep.served, rep.served);
+            let rungs = |r: &vod_core::ServiceReport| -> Vec<Rung> {
+                r.cycles.iter().map(|c| c.rung).collect()
+            };
+            prop_assert_eq!(rungs(base_rep), rungs(rep));
+        }
+    }
+}

@@ -127,7 +127,7 @@ proptest! {
             "shard sizes do not sum to the batch"
         );
         let mut union: Vec<(u32, u32, u64)> =
-            parts.iter().flat_map(|p| batch_multiset(p)).collect();
+            parts.iter().flat_map(batch_multiset).collect();
         union.sort_unstable();
         prop_assert_eq!(union, batch_multiset(&wl.requests), "shard union lost or duplicated requests");
     }

@@ -19,7 +19,7 @@ const HORIZON: f64 = 24.0 * 3_600.0;
 fn world(capacity_gb: f64, seed: u64) -> (Topology, Catalog) {
     let topo =
         builders::paper_fig4(&builders::PaperFig4Config { capacity_gb, ..Default::default() });
-    let catalog = generate_catalog(&CatalogConfig::small(30), seed ^ 0xC0FF_EE);
+    let catalog = generate_catalog(&CatalogConfig::small(30), seed ^ 0xC0FFEE);
     (topo, catalog)
 }
 

@@ -12,7 +12,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use vod_core::{ivsp_solve_priced, sorp_solve_priced, ExecMode, SchedCtx, SorpConfig};
 use vod_cost_model::CostModel;
-use vod_experiments::{cycles, ext, figures, render_csv, render_table, table5, EnvParams, Preset};
+use vod_experiments::{
+    cycles, ext, figures, render_csv, render_table, service, table5, EnvParams, Preset,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,6 +23,8 @@ fn main() -> ExitCode {
     let mut rpu: Option<usize> = None;
     let mut cold = false;
     let mut adaptive = false;
+    let mut burst: Option<usize> = None;
+    let mut budget_ns: Option<f64> = None;
     let mut targets: Vec<String> = Vec::new();
 
     let mut it = args.iter();
@@ -43,6 +47,20 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--burst" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => burst = Some(n),
+                None => {
+                    eprintln!("--burst needs an integer argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--budget-ns" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => budget_ns = Some(n),
+                None => {
+                    eprintln!("--budget-ns needs a number argument");
+                    return ExitCode::FAILURE;
+                }
+            },
             "-h" | "--help" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -59,10 +77,21 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     if targets.iter().any(|t| t == "all") {
-        targets = ["fig5", "fig6", "fig7", "fig8", "fig9", "table5", "gap", "bandwidth", "cycles"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        targets = [
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "table5",
+            "gap",
+            "bandwidth",
+            "cycles",
+            "service",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
 
     if let Some(dir) = &out_dir {
@@ -140,6 +169,27 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "service" => {
+                let params = EnvParams::for_preset(preset);
+                let n = if preset == Preset::Fast { 4 } else { 8 };
+                let sp = service::ServiceParams {
+                    queue_bound: Some(4 * params.users_per_neighborhood * 19),
+                    budget_ns: budget_ns.or(Some(500.0 * 9_700.0)),
+                    burst: vec![(1, burst.unwrap_or(4))],
+                    ..service::ServiceParams::default()
+                };
+                let (r, report) = service::service_horizon(&params, n, &sp);
+                println!("{}", r.render());
+                println!("{}", report.render());
+                if let Some(dir) = &out_dir {
+                    let path = dir.join("service.txt");
+                    let body = format!("{}\n{}", r.render(), report.render());
+                    if let Err(e) = std::fs::write(&path, body) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "gap" => {
                 let r = ext::gap(preset);
                 println!("{}", r.render());
@@ -196,12 +246,14 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage: vodx <fig5|fig6|fig7|fig8|fig9|table5|gap|bandwidth|cycles|inspect|all> [--fast] [--out DIR]\n\
+    "usage: vodx <fig5|fig6|fig7|fig8|fig9|table5|gap|bandwidth|cycles|service|inspect|all> [--fast] [--out DIR]\n\
      \n\
      Reproduces the evaluation of Won & Srivastava (HPDC 1997).\n\
      --fast   use reduced grids/workload (smoke run)\n\
      --out D  additionally write CSV/text outputs into directory D\n\
      --rpu N  reservations per user per cycle for table5 (default 2)\n\
      --cold     cycles: re-solve each cycle from scratch (oracle path)\n\
-     --adaptive cycles: let the warm selector pick the shard count"
+     --adaptive cycles: let the warm selector pick the shard count\n\
+     --burst N     service: arrival multiplier for the burst cycle (default 4)\n\
+     --budget-ns B service: per-cycle deadline budget in simulated ns"
 }

@@ -31,8 +31,8 @@ use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::time::Instant;
 use vod_core::{
-    detect_overflows, shard_solve_seeded, shard_solve_warm, ExecMode, SchedCtx, ShardConfig,
-    SorpOutcome, StorageLedger, WarmState, WarmStats, EXTERNAL_OCCUPANCY,
+    detect_overflows, shard_solve_seeded, shard_solve_warm, ExecMode, SchedCtx, ServiceCycleStats,
+    ShardConfig, SorpOutcome, StorageLedger, WarmState, WarmStats, EXTERNAL_OCCUPANCY,
 };
 use vod_cost_model::{CostModel, Request, RequestBatch, SpaceProfile};
 use vod_topology::{units, NodeId};
@@ -94,10 +94,18 @@ pub struct CycleReport {
     /// Whether every overflow was resolved (false only if spillover alone
     /// over-commits a storage).
     pub overflow_free: bool,
+    /// Wall-clock of the whole cycle (workload generation / intake,
+    /// solve, repair, commit), nanoseconds. `warm.solve_ns` is the
+    /// solver-only share.
+    pub wall_ns: u64,
     /// Warm-start accounting for the cycle. On the cold path only
     /// `shards_used`, `spillover_bytes`, and `solve_ns` are populated
     /// (there is no carried state to count).
     pub warm: WarmStats,
+    /// Service-frontend accounting, populated only by
+    /// [`crate::service::service_horizon`] (rolling-horizon runs have no
+    /// intake layer).
+    pub service: Option<ServiceCycleStats>,
 }
 
 /// Result of a rolling-horizon run.
@@ -118,13 +126,17 @@ impl RollingOutcome {
         self.cycles.iter().map(|c| c.warm.solve_ns).sum()
     }
 
-    /// Render as an aligned table.
+    /// Render as an aligned table. Every cycle gets a row — including
+    /// idle ones with zero requests (the service loop's idle ticks) —
+    /// with per-cycle solve and wall time in milliseconds. Runs that
+    /// carry service-frontend stats gain a trailing rung/shed section.
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "# Rolling-horizon operation ({} cycles)", self.cycles.len());
-        let _ = writeln!(
+        let with_service = self.cycles.iter().any(|c| c.service.is_some());
+        let _ = write!(
             out,
-            "{:>7}{:>10}{:>14}{:>10}{:>10}{:>14}{:>8}{:>8}{:>10}",
+            "{:>7}{:>10}{:>14}{:>10}{:>10}{:>14}{:>8}{:>8}{:>11}{:>10}{:>7}",
             "cycle",
             "requests",
             "cost $",
@@ -133,12 +145,19 @@ impl RollingOutcome {
             "spillover GB",
             "shards",
             "hits",
+            "solve ms",
+            "wall ms",
             "clean"
         );
+        if with_service {
+            let _ =
+                write!(out, "{:>9}{:>7}{:>7}{:>7}{:>7}", "rung", "shed", "defer", "drop", "queue");
+        }
+        let _ = writeln!(out);
         for c in &self.cycles {
-            let _ = writeln!(
+            let _ = write!(
                 out,
-                "{:>7}{:>10}{:>14.0}{:>9.1}%{:>10}{:>14.2}{:>8}{:>8}{:>10}",
+                "{:>7}{:>10}{:>14.0}{:>9.1}%{:>10}{:>14.2}{:>8}{:>8}{:>11.2}{:>10.2}{:>7}",
                 c.cycle,
                 c.requests,
                 c.cost,
@@ -147,8 +166,29 @@ impl RollingOutcome {
                 c.spillover_gb,
                 c.warm.shards_used,
                 c.warm.trials_hit + c.warm.phase1_hits,
+                c.warm.solve_ns as f64 / 1e6,
+                c.wall_ns as f64 / 1e6,
                 if c.overflow_free { "yes" } else { "NO" }
             );
+            if with_service {
+                match &c.service {
+                    Some(s) => {
+                        let _ = write!(
+                            out,
+                            "{:>9}{:>7}{:>7}{:>7}{:>7}",
+                            s.rung.label(),
+                            s.shed,
+                            s.deferred,
+                            s.dropped,
+                            s.queue_depth
+                        );
+                    }
+                    None => {
+                        let _ = write!(out, "{:>9}{:>7}{:>7}{:>7}{:>7}", "-", "-", "-", "-", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
         }
         let _ = writeln!(out, "total: ${:.0}", self.total_cost());
         out
@@ -183,6 +223,7 @@ pub fn rolling_horizon_with(
     let mut cycles = Vec::with_capacity(n_cycles);
 
     for k in 0..n_cycles {
+        let cycle_started = Instant::now();
         // Fresh reservations for this cycle, shifted onto its window.
         let request_cfg = RequestConfig {
             requests_per_user: params.requests_per_user,
@@ -229,8 +270,6 @@ pub fn rolling_horizon_with(
             );
         }
 
-        cycles.push(report_for(k, &batch, &outcome.sorp, &warm_stats, outcome.shards));
-
         if cfg.use_cold_start {
             // Commit this cycle's residencies for the cycles to come.
             for r in outcome.sorp.schedule.residencies() {
@@ -242,11 +281,15 @@ pub fn rolling_horizon_with(
         }
         // The warm path's commitments live inside `warm`'s committed
         // book, absorbed by `shard_solve_warm` itself.
+
+        let mut report = report_for(k, &batch, &outcome.sorp, &warm_stats, outcome.shards);
+        report.wall_ns = cycle_started.elapsed().as_nanos() as u64;
+        cycles.push(report);
     }
     RollingOutcome { cycles }
 }
 
-fn report_for(
+pub(crate) fn report_for(
     cycle: usize,
     batch: &RequestBatch,
     sorp: &SorpOutcome,
@@ -263,7 +306,9 @@ fn report_for(
         victims: sorp.victims.len(),
         spillover_gb: warm.spillover_bytes / units::GB,
         overflow_free: sorp.overflow_free,
+        wall_ns: 0,
         warm,
+        service: None,
     }
 }
 
@@ -495,6 +540,19 @@ mod tests {
             }
         }
         assert!(committed_is_feasible(&params, &committed));
+    }
+
+    #[test]
+    fn per_cycle_times_are_reported_in_stable_units() {
+        let out = rolling_horizon(&cheap_params(), 2);
+        for c in &out.cycles {
+            assert!(c.wall_ns >= c.warm.solve_ns, "wall time must contain the solve");
+            assert!(c.wall_ns > 0, "cycle {} reported no wall time", c.cycle);
+            assert!(c.service.is_none(), "rolling runs have no intake layer");
+        }
+        let text = out.render();
+        assert!(text.contains("solve ms") && text.contains("wall ms"));
+        assert!(!text.contains("rung"), "no service column without service stats");
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod ext;
 pub mod figures;
 mod parallel;
 mod report;
+pub mod service;
 pub mod table5;
 
 pub use env::{evaluate_cell, evaluate_cell_all_metrics, EnvParams, EvalResult, Preset};

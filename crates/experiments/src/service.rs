@@ -1,0 +1,194 @@
+//! Service-frontend experiments: the rolling-horizon environment driven
+//! through `vod_core::service`'s intake queue, degradation ladder, and
+//! backoff pipeline instead of pre-cut batches.
+//!
+//! [`service_horizon`] is the service-mode twin of
+//! [`crate::cycles::rolling_horizon`]: same topology, catalog, cost
+//! model, and per-cycle workload seeds, but the requests flow through an
+//! arrival trace ([`vod_workload::generate_arrivals`]) into a
+//! [`ServiceLoop`]. With no queue bound, no budget, no burst, and no
+//! faults it reproduces the rolling-horizon schedules bit for bit (the
+//! `service_props` suite asserts this); with them it exercises admission
+//! control, the ladder, and overload shedding under the exact
+//! environment the paper's experiments use.
+
+use crate::cycles::{CycleReport, RollingOutcome};
+use crate::EnvParams;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use vod_core::{
+    ExecMode, SchedCtx, ServiceConfig, ServiceCycleOutcome, ServiceLoop, ServiceReport,
+};
+use vod_cost_model::CostModel;
+use vod_topology::units;
+use vod_workload::{
+    generate_arrivals, generate_catalog, ArrivalConfig, CatalogConfig, RequestConfig,
+};
+
+/// Service-frontend knobs layered over an [`EnvParams`] environment.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ServiceParams {
+    /// Intake queue bound (`None` = unbounded).
+    pub queue_bound: Option<usize>,
+    /// Per-cycle deadline budget in simulated nanoseconds (`None` =
+    /// infinite; the ladder never engages).
+    pub budget_ns: Option<f64>,
+    /// Overload bursts: `(cycle, multiplier)` scaling that cycle's
+    /// arrival rate.
+    pub burst: Vec<(usize, usize)>,
+    /// Generate a [`vod_faults::FaultConfig::default`] fault plan from
+    /// this seed and wire it into the loop (`None` = fault-free).
+    pub fault_seed: Option<u64>,
+    /// Stop generating arrivals after this many cycles (`None` = the
+    /// whole run). Later cycles run as idle service ticks — they still
+    /// appear in the report.
+    pub trace_cycles: Option<usize>,
+}
+
+/// Run `n_cycles` of the environment through the service frontend.
+/// Returns the per-cycle [`RollingOutcome`] (service stats attached to
+/// every [`CycleReport`]) and the aggregated [`ServiceReport`].
+pub fn service_horizon(
+    params: &EnvParams,
+    n_cycles: usize,
+    sp: &ServiceParams,
+) -> (RollingOutcome, ServiceReport) {
+    let (outcome, report, _) = service_horizon_full(params, n_cycles, sp);
+    (outcome, report)
+}
+
+/// [`service_horizon`] also returning the raw per-cycle
+/// [`ServiceCycleOutcome`]s (schedules, served/shed request sets) for
+/// replay-style validation.
+pub fn service_horizon_full(
+    params: &EnvParams,
+    n_cycles: usize,
+    sp: &ServiceParams,
+) -> (RollingOutcome, ServiceReport, Vec<ServiceCycleOutcome>) {
+    assert!(n_cycles >= 1, "need at least one cycle");
+    let (topo, _) = params.build();
+    let catalog_cfg = CatalogConfig { videos: params.videos, ..CatalogConfig::paper() };
+    let catalog = generate_catalog(&catalog_cfg, params.seed ^ 0xCA7A_10C0_FFEE_0001);
+    let model = CostModel::per_hop();
+    let ctx = SchedCtx::new(&topo, &model, &catalog);
+
+    let arrival_cfg = ArrivalConfig {
+        request: RequestConfig {
+            requests_per_user: params.requests_per_user,
+            ..RequestConfig::with_alpha(params.zipf_alpha)
+        },
+        cycles: sp.trace_cycles.map_or(n_cycles, |t| t.min(n_cycles)),
+        regional: false,
+        burst: sp.burst.clone(),
+    };
+    let arrivals = generate_arrivals(&topo, &catalog, &arrival_cfg, params.seed);
+    let horizon = arrival_cfg.request.horizon_hours * 3_600.0;
+
+    let faults = match sp.fault_seed {
+        Some(seed) => {
+            vod_faults::FaultPlan::generate(&topo, &vod_faults::FaultConfig::default(), seed)
+        }
+        None => vod_faults::FaultPlan::empty(),
+    };
+    let cfg = ServiceConfig {
+        horizon,
+        queue_bound: sp.queue_bound,
+        budget_ns: sp.budget_ns,
+        faults,
+        ..ServiceConfig::default()
+    };
+    let mut svc =
+        ServiceLoop::new(&topo, cfg).expect("a generated fault plan validates by construction");
+
+    let mut next = 0usize;
+    let mut cycles = Vec::with_capacity(n_cycles);
+    let mut outcomes = Vec::with_capacity(n_cycles);
+    for k in 0..n_cycles {
+        let started = Instant::now();
+        let t0 = k as f64 * horizon;
+        while next < arrivals.len() && arrivals[next].at <= t0 {
+            // Rejections are typed backpressure recorded in the cycle
+            // stats; the driver has nowhere to bounce them to.
+            let _ = svc.offer(arrivals[next].request);
+            next += 1;
+        }
+        let out = svc.run_cycle(&ctx, ExecMode::default());
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        cycles.push(CycleReport {
+            cycle: k,
+            requests: out.served.len(),
+            cost: out.cost,
+            rel_increase: out.rel_increase(),
+            victims: out.victims,
+            spillover_gb: out.warm.spillover_bytes / units::GB,
+            overflow_free: out.overflow_free,
+            wall_ns,
+            warm: out.warm.clone(),
+            service: Some(out.stats.clone()),
+        });
+        outcomes.push(out);
+    }
+    (RollingOutcome { cycles }, svc.finish(), outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycles::rolling_horizon;
+    use vod_core::Rung;
+
+    fn cheap_params() -> EnvParams {
+        EnvParams { videos: 50, users_per_neighborhood: 4, ..EnvParams::fast() }
+    }
+
+    #[test]
+    fn oracle_mode_matches_rolling_horizon_bit_for_bit() {
+        let params = cheap_params();
+        let rolling = rolling_horizon(&params, 3);
+        let (svc, report) = service_horizon(&params, 3, &ServiceParams::default());
+        assert_eq!(report.conservation_error(), 0);
+        assert_eq!(report.shed_events, 0);
+        for (a, b) in svc.cycles.iter().zip(&rolling.cycles) {
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "cycle {} Ψ diverged", a.cycle);
+            assert_eq!(a.victims, b.victims);
+            assert_eq!(a.requests, b.requests);
+            assert_eq!(a.service.as_ref().map(|s| s.rung), Some(Rung::Full));
+        }
+    }
+
+    #[test]
+    fn render_includes_service_columns_and_idle_cycles() {
+        let params = cheap_params();
+        // Arrivals stop after cycle 0; cycles 1–2 are idle service ticks.
+        let sp = ServiceParams { trace_cycles: Some(1), ..ServiceParams::default() };
+        let (out, report) = service_horizon(&params, 3, &sp);
+        assert_eq!(out.cycles[1].requests, 0, "cycle 1 must be idle");
+        assert_eq!(report.cycles.len(), 3);
+        let text = out.render();
+        assert!(text.contains("rung"), "service runs must render the ladder column");
+        assert!(text.contains("wall ms") && text.contains("solve ms"));
+        // Idle cycles still get a row each.
+        assert_eq!(
+            text.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn overload_burst_engages_the_ladder() {
+        let params = cheap_params();
+        let sp = ServiceParams {
+            queue_bound: Some(1_000),
+            budget_ns: Some(100.0 * 4_200.0),
+            burst: vec![(1, 4)],
+            ..ServiceParams::default()
+        };
+        let (out, report) = service_horizon(&params, 3, &sp);
+        assert!(report.cycles.iter().any(|c| c.rung != Rung::Full), "budget never engaged");
+        assert_eq!(report.conservation_error(), 0);
+        for c in &out.cycles {
+            let s = c.service.as_ref().expect("service runs attach stats");
+            assert_eq!(s.cycle, c.cycle);
+        }
+    }
+}

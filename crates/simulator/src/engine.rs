@@ -55,11 +55,9 @@ pub fn simulate(
     schedule: &Schedule,
     options: &SimOptions<'_>,
 ) -> SimReport {
-    match simulate_with_faults(topo, catalog, model, schedule, &FaultPlan::empty(), &[], options) {
-        Ok(report) => report,
-        // The empty plan validates against every topology.
-        Err(e) => unreachable!("empty fault plan rejected: {e}"),
-    }
+    // The empty plan is valid by construction, so the fault-validation
+    // gate is bypassed entirely — no error path to swallow.
+    replay(topo, catalog, model, schedule, &FaultPlan::empty(), &[], options)
 }
 
 /// Replay `schedule` with an injected [`FaultPlan`] merged into the event
@@ -83,7 +81,21 @@ pub fn simulate_with_faults(
     options: &SimOptions<'_>,
 ) -> Result<SimReport, FaultError> {
     plan.validate(topo)?;
+    Ok(replay(topo, catalog, model, schedule, plan, shed, options))
+}
 
+/// The validation-free replay core shared by [`simulate`] (empty plan,
+/// infallible) and [`simulate_with_faults`] (plan validated first).
+/// Callers must pass a plan that validates against `topo`.
+pub(crate) fn replay(
+    topo: &Topology,
+    catalog: &Catalog,
+    model: &CostModel,
+    schedule: &Schedule,
+    plan: &FaultPlan,
+    shed: &[Request],
+    options: &SimOptions<'_>,
+) -> SimReport {
     let mut violations = Vec::new();
     for r in shed {
         violations.push(Violation::RequestShed { user: r.user, video: r.video, start: r.start });
@@ -500,7 +512,7 @@ pub fn simulate_with_faults(
         }
     }
 
-    Ok(SimReport { metrics, violations })
+    SimReport { metrics, violations }
 }
 
 #[cfg(test)]

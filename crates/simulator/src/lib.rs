@@ -58,11 +58,13 @@ mod engine;
 mod event;
 pub mod render;
 mod report;
+pub mod service;
 mod validate;
 
 pub use engine::{simulate, simulate_with_faults, SimOptions};
 pub use event::{Event, EventKind, EventQueue, PendingQueue};
 pub use report::{Metrics, SimReport, Violation};
+pub use service::{check_service_accounting, cycle_is_clean, replay_service_cycle};
 // Re-exported so replay callers can build fault plans without a separate
 // dependency on the fault-model crate.
 pub use vod_faults::{Fault, FaultConfig, FaultError, FaultImpact, FaultPlan};

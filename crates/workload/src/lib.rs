@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod arrivals;
 mod catalog;
 mod requests;
 mod rng;
@@ -36,6 +37,7 @@ mod shard;
 pub mod trace;
 mod zipf;
 
+pub use arrivals::{generate_arrivals, Arrival, ArrivalConfig};
 pub use catalog::{generate_catalog, CatalogConfig};
 pub use requests::{generate_regional_requests, generate_requests, ArrivalPattern, RequestConfig};
 pub use rng::SplitMix64;

@@ -28,11 +28,19 @@ cargo bench --offline -p vod-bench --bench sorp_sharded -- --test
 echo "==> bench smoke run (cycles_warm --test)"
 cargo bench --offline -p vod-bench --bench cycles_warm -- --test
 
+echo "==> bench smoke run (service_overload --test)"
+cargo bench --offline -p vod-bench --bench service_overload -- --test
+
 echo "==> sharded-scheduler property suite"
 cargo test -q --offline -p vod-core --test shard_props
 
 echo "==> warm-start property suite"
 cargo test -q --offline -p vod-core --test warm_start_props
+
+echo "==> service-frontend property + overload suites"
+cargo test -q --offline -p vod-core --test service_props
+cargo test -q --offline --test service_overload_e2e
+cargo run -q --release --offline -p vod-experiments --bin vodx -- service >/dev/null
 
 echo "==> fault-injection suite"
 cargo test -q --offline -p vod-faults
