@@ -66,7 +66,7 @@ fn measure<F: FnMut() -> usize>(mut f: F, smoke: bool) -> f64 {
             start.elapsed().as_nanos() as f64 / calls.max(1) as f64
         })
         .collect();
-    per_call.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    per_call.sort_by(f64::total_cmp);
     per_call[per_call.len() / 2]
 }
 

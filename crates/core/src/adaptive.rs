@@ -219,7 +219,7 @@ impl ShardSelector {
             .min_by(|a, b| {
                 let da = (a.size as f64).ln() - r.ln();
                 let db = (b.size as f64).ln() - r.ln();
-                da.abs().partial_cmp(&db.abs()).expect("finite")
+                da.abs().total_cmp(&db.abs())
             })
             .expect("non-empty table");
         nearest.points.iter().find(|e| e.shards == shards).map_or(0.0, |e| e.reconcile.max(0.0))
@@ -249,7 +249,7 @@ impl ShardSelector {
             .min_by(|x, y| {
                 let dx = (x.shards as f64).ln() - s.ln();
                 let dy = (y.shards as f64).ln() - s.ln();
-                dx.abs().partial_cmp(&dy.abs()).expect("finite")
+                dx.abs().total_cmp(&dy.abs())
             })
             .map_or(f64::INFINITY, |e| e.nanos)
     }
@@ -275,8 +275,7 @@ impl ShardSelector {
         }
         // Gaussian elimination with partial pivoting.
         for col in 0..3 {
-            let piv = (col..3)
-                .max_by(|&a, &b| m[a][col].abs().partial_cmp(&m[b][col].abs()).expect("finite"))?;
+            let piv = (col..3).max_by(|&a, &b| m[a][col].abs().total_cmp(&m[b][col].abs()))?;
             if m[piv][col].abs() < 1e-12 {
                 return None;
             }
@@ -345,9 +344,7 @@ impl ShardSelector {
             .filter_map(|&s| self.predict(requests, s).map(|t| (s, t)))
             .filter(|&(_, t)| t.is_finite())
             .collect();
-        let Some(&(best_s, best)) =
-            scored.iter().min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite predictions"))
-        else {
+        let Some(&(best_s, best)) = scored.iter().min_by(|a, b| a.1.total_cmp(&b.1)) else {
             return 1;
         };
         if best_s == hi {
@@ -363,6 +360,46 @@ impl ShardSelector {
             .iter()
             .find(|&&(_, t)| t <= best * (1.0 + PREFER_SMALLER_MARGIN))
             .map_or(1, |&(s, _)| s)
+    }
+
+    /// [`ShardSelector::pick`] that also records a `"shard_pick"` event:
+    /// the decision plus the fit inputs it was made from (measured
+    /// range, predicted nanoseconds at the chosen count). Pure function
+    /// of the table; recording changes nothing.
+    pub fn pick_recorded(&self, requests: usize, regions: usize, rec: &vod_obs::Recorder) -> usize {
+        let picked = self.pick(requests, regions);
+        rec.event("shard_pick", |e| {
+            let (lo, hi) = self.measured_range();
+            e.u64("requests", requests as u64)
+                .u64("regions", regions as u64)
+                .u64("picked", picked as u64)
+                .u64("measured_lo", if lo == usize::MAX { 0 } else { lo as u64 })
+                .u64("measured_hi", hi as u64)
+                .f64("predicted_ns", self.predict(requests, picked).unwrap_or(f64::NAN));
+        });
+        picked
+    }
+
+    /// [`ShardSelector::observe`] that also records a `"shard_observe"`
+    /// event. The `nanos` input is a *wall-clock* measurement — the one
+    /// deliberate machine-dependent payload in the recording (documented
+    /// in `vod_obs`): without it the selector's decisions cannot be
+    /// audited, because they really do depend on measured time.
+    pub fn observe_recorded(
+        &mut self,
+        requests: usize,
+        shards: usize,
+        nanos: f64,
+        reconcile_iterations: f64,
+        rec: &vod_obs::Recorder,
+    ) {
+        rec.event("shard_observe", |e| {
+            e.u64("requests", requests as u64)
+                .u64("shards", shards as u64)
+                .f64("nanos", nanos)
+                .f64("reconcile_iterations", reconcile_iterations);
+        });
+        self.observe(requests, shards, nanos, reconcile_iterations);
     }
 }
 

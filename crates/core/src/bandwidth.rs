@@ -34,7 +34,7 @@ impl LinkLoad {
     /// pairs.
     pub fn steps(&self) -> Vec<(Secs, f64)> {
         let mut ev = self.events.clone();
-        ev.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("times are finite"));
+        ev.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut out: Vec<(Secs, f64)> = Vec::with_capacity(ev.len());
         let mut load = 0.0;
         for (t, d) in ev {

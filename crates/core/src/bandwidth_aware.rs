@@ -55,7 +55,7 @@ impl LinkLedger {
                 events.push((e.min(t1), -bw));
             }
         }
-        events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        events.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut load = 0.0;
         let mut peak = 0.0f64;
         for (_, d) in events {
@@ -145,10 +145,7 @@ pub fn constrained_cheapest_path(
     }
     impl Ord for Entry {
         fn cmp(&self, o: &Self) -> Ordering {
-            o.cost
-                .partial_cmp(&self.cost)
-                .unwrap_or(Ordering::Equal)
-                .then_with(|| o.node.cmp(&self.node))
+            o.cost.total_cmp(&self.cost).then_with(|| o.node.cmp(&self.node))
         }
     }
 
@@ -235,11 +232,7 @@ pub fn bandwidth_aware_solve(ctx: &SchedCtx<'_>, batch: &RequestBatch) -> Bandwi
     // Global chronological order across videos.
     let mut order: Vec<Request> = batch.iter().copied().collect();
     order.sort_by(|a, b| {
-        a.start
-            .partial_cmp(&b.start)
-            .expect("finite times")
-            .then(a.video.cmp(&b.video))
-            .then(a.user.cmp(&b.user))
+        a.start.total_cmp(&b.start).then(a.video.cmp(&b.video)).then(a.user.cmp(&b.user))
     });
 
     let mut links = LinkLedger::new(topo);

@@ -489,7 +489,7 @@ impl StorageLedger {
                         out.extend(p.breakpoints());
                     }
                 }
-                out.sort_by(|a, b| a.partial_cmp(b).expect("breakpoints are finite"));
+                out.sort_by(f64::total_cmp);
                 out.dedup();
                 out
             }
@@ -557,7 +557,7 @@ impl StorageLedger {
         points.retain(|&t| (candidate.start..=candidate.end).contains(&t));
         points.push(candidate.start);
         points.push(candidate.end);
-        points.sort_by(|a, b| a.partial_cmp(b).expect("breakpoints are finite"));
+        points.sort_by(f64::total_cmp);
         points.dedup();
 
         let combined = |t: Secs| self.usage_at_reference(loc, t, exclude) + candidate.space_at(t);
@@ -617,7 +617,7 @@ impl StorageLedger {
                 }
             }
         }
-        overlay.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("breakpoints are finite"));
+        overlay.sort_by(|a, b| a.0.total_cmp(&b.0));
 
         // Running prefix of the combined function: aggregate up to the
         // support start, plus every overlay delta at or before it.

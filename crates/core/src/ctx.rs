@@ -1,6 +1,7 @@
 //! Shared scheduling context.
 
 use vod_cost_model::{Catalog, CostModel, Dollars, Schedule, VideoSchedule};
+use vod_obs::Recorder;
 use vod_topology::{RouteTable, Topology};
 
 /// Everything the scheduler needs to price and route candidate service
@@ -17,12 +18,20 @@ pub struct SchedCtx<'a> {
     pub model: &'a CostModel,
     /// The warehouse's catalog.
     pub catalog: &'a Catalog,
+    /// Telemetry sink; the default is the disabled no-op recorder.
+    pub recorder: Recorder,
 }
 
 impl<'a> SchedCtx<'a> {
     /// Build a context, computing the route table for `topo`.
     pub fn new(topo: &'a Topology, model: &'a CostModel, catalog: &'a Catalog) -> Self {
-        Self { topo, routes: RouteTable::build(topo), model, catalog }
+        Self {
+            topo,
+            routes: RouteTable::build(topo),
+            model,
+            catalog,
+            recorder: Recorder::disabled(),
+        }
     }
 
     /// Build a context over an explicit route table — e.g. a degraded
@@ -34,7 +43,15 @@ impl<'a> SchedCtx<'a> {
         model: &'a CostModel,
         catalog: &'a Catalog,
     ) -> Self {
-        Self { topo, routes, model, catalog }
+        Self { topo, routes, model, catalog, recorder: Recorder::disabled() }
+    }
+
+    /// The same context with a (typically enabled) telemetry recorder
+    /// attached; every pipeline stage reached through this context
+    /// records into it.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Ψ(S_i) for one video's schedule.

@@ -367,7 +367,7 @@ mod tests {
                 })
                 .collect();
             let mut requests = requests;
-            requests.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+            requests.sort_by(|a, b| a.start.total_cmp(&b.start));
 
             let exact = find_optimal_video_schedule(&ctx, &requests);
             let greedy = ctx.video_cost(&find_video_schedule(&ctx, &requests));

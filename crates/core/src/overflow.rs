@@ -262,9 +262,7 @@ pub fn overflow_set<'s>(
             p.peak() > 0.0 && Interval::new(p.start, p.end).overlaps(&of.window)
         })
         .collect();
-    set.sort_by(|a, b| {
-        a.video.cmp(&b.video).then(a.start.partial_cmp(&b.start).expect("times are finite"))
-    });
+    set.sort_by(|a, b| a.video.cmp(&b.video).then(a.start.total_cmp(&b.start)));
     set
 }
 

@@ -224,7 +224,12 @@ pub fn repair_schedule(
                     req.start
                 } else {
                     retry_attempts += 1;
-                    req.start + cfg.base_backoff * (1u64 << (k - 1)) as f64
+                    // Clamp the exponent like `BackoffPolicy::delay`:
+                    // past 2^16 the delay is already far beyond any
+                    // fault window, and an uncapped `k` is a shift
+                    // overflow once `max_retries` ≥ 65.
+                    let exp = (k - 1).min(16);
+                    req.start + cfg.base_backoff * (1u64 << exp) as f64
                 };
                 let clear = route
                     .nodes
@@ -254,6 +259,15 @@ pub fn repair_schedule(
         (a.heat, a.request.video, a.request.user)
             .cmp(&(b.heat, b.request.video, b.request.user))
             .then(a.request.start.total_cmp(&b.request.start))
+    });
+
+    ctx.recorder.event("repair", |e| {
+        e.u64("repaired_videos", repaired_videos.len() as u64)
+            .u64("shed", shed.len() as u64)
+            .u64("delayed", delayed.len() as u64)
+            .u64("retry_attempts", retry_attempts as u64)
+            .f64("pre_repair_cost", pre_repair_cost)
+            .f64("post_repair_cost", priced.total());
     });
 
     Ok(RepairOutcome {
@@ -511,5 +525,54 @@ mod tests {
             wl.requests.groups().flat_map(|(_, g)| g.iter().copied()).collect();
         let adjusted = out.adjusted_requests(&original);
         assert_eq!(adjusted.len(), original.len() - out.shed.len());
+    }
+
+    /// Regression: `max_retries = 80` used to shift `1u64 << 79` — a
+    /// debug panic / release wrap. The exponent now clamps at 16, so a
+    /// huge retry budget degrades to "try at the capped delay
+    /// repeatedly" and either delivers past the failure or sheds.
+    #[test]
+    fn huge_retry_budget_does_not_overflow_the_backoff_shift() {
+        let (topo, wl) = line();
+        let model = CostModel::per_hop();
+        let ctx = SchedCtx::new(&topo, &model, &wl.catalog);
+        let cfg = RepairConfig { max_retries: 80, ..RepairConfig::default() };
+
+        // Recoverable within the capped delay: the bridge heals after
+        // 2^10 base backoffs, well below the 2^16 cap, so some attempt
+        // in 1..=80 lands past the failure and the victim is delayed,
+        // never shed.
+        let clears_at = 1024.0 * cfg.base_backoff;
+        let plan = FaultPlan::new(vec![Fault::LinkFailure {
+            a: NodeId(1),
+            b: NodeId(2),
+            from: 0.0,
+            until: clears_at,
+        }]);
+        let out = repair_schedule(&ctx, committed(&ctx, &wl), &plan, &cfg).unwrap();
+        assert!(!out.delayed.is_empty(), "victims must recover via the capped backoff");
+        for d in &out.delayed {
+            assert!(d.delayed_start >= clears_at);
+            assert!(
+                d.delayed_start <= d.request.start + cfg.base_backoff * (1u64 << 16) as f64,
+                "delay beyond the clamped exponent"
+            );
+        }
+
+        // Unrecoverable even at the cap: every attempt (all clamped to
+        // ≤ 2^16 · base) lands inside the failure — shed, not panic.
+        let playback = wl.catalog.get(wl.requests.groups().next().unwrap().0).playback;
+        let horizon = cfg.base_backoff * (1u64 << 17) as f64 + playback * 4.0;
+        let plan = FaultPlan::new(vec![Fault::LinkFailure {
+            a: NodeId(1),
+            b: NodeId(2),
+            from: 0.0,
+            until: horizon,
+        }]);
+        let out = repair_schedule(&ctx, committed(&ctx, &wl), &plan, &cfg).unwrap();
+        assert!(!out.shed.is_empty(), "cut-off requests past the cap must shed");
+        for s in &out.shed {
+            assert_eq!(s.reason, ShedReason::RetriesExhausted);
+        }
     }
 }

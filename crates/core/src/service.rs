@@ -266,6 +266,13 @@ impl BudgetModel {
             + forced_fallbacks as f64 * FALLBACK_NS) as u64
     }
 
+    /// The current per-request EMA state, indexed `[Full,
+    /// ReducedTrials, GreedyOnly]` — exposed so the flight recorder can
+    /// capture the ladder's decision inputs.
+    pub fn unit_ns(&self) -> [f64; 3] {
+        self.unit_ns
+    }
+
     /// Predicted simulated ns for solving `n` requests on `rung`.
     pub fn predict(&self, rung: Rung, n: usize) -> f64 {
         let unit = match rung {
@@ -670,6 +677,7 @@ impl ServiceLoop {
         let k = self.cycle;
         let t0 = k as f64 * self.cfg.horizon;
         let window_end = (k + 1) as f64 * self.cfg.horizon;
+        ctx.recorder.begin_cycle(k as u64, t0);
         let mut stats = ServiceCycleStats {
             cycle: k,
             offered: self.offered,
@@ -701,10 +709,29 @@ impl ServiceLoop {
         let mut kept: Vec<Ticket> = self.queue.drain(..cut).collect();
         stats.admitted = kept.len();
         stats.queue_depth = self.queue.len();
+        ctx.recorder.event("intake", |e| {
+            e.u64("offered", stats.offered as u64)
+                .u64("rejected_full", stats.rejected_full as u64)
+                .u64("rejected_saturated", stats.rejected_saturated as u64)
+                .u64("admitted", stats.admitted as u64)
+                .u64("queue_depth", stats.queue_depth as u64)
+                .u64("pending_backoff", self.pending.len() as u64);
+        });
 
         // 3. Pick the ladder rung from the simulated-time budget model.
         let (rung, keep) = self.budget.pick(kept.len(), self.cfg.budget_ns);
         stats.rung = rung;
+        ctx.recorder.event("rung", |e| {
+            let [full, reduced, greedy] = self.budget.unit_ns();
+            e.str("rung", rung.label())
+                .u64("batch", stats.admitted as u64)
+                .u64("keep", keep as u64)
+                .f64("predicted_ns", self.budget.predict(rung, keep))
+                .f64("budget_ns", self.cfg.budget_ns.unwrap_or(f64::INFINITY))
+                .f64("ema_full_ns", full)
+                .f64("ema_reduced_ns", reduced)
+                .f64("ema_greedy_ns", greedy);
+        });
 
         // 4. Heat-ranked shedding: lowest heat (fewest same-video
         //    requests in the batch) goes first, ties broken on
@@ -770,12 +797,21 @@ impl ServiceLoop {
         // on simulated time), so determinism is preserved.
         self.warm.stats.solve_ns = solve_started.elapsed().as_nanos() as u64;
         let warm_stats = self.warm.stats.clone();
+        warm_stats.record(&ctx.recorder);
 
         // 6. Feed the budget model with the solve's simulated time.
         let sim_ns = BudgetModel::simulated_ns(batch.len(), iterations, victims, fallbacks);
         stats.sim_ns = sim_ns;
         stats.over_budget = self.cfg.budget_ns.is_some_and(|b| sim_ns as f64 > b);
         self.budget.observe(rung, batch.len(), sim_ns);
+        ctx.recorder.event("budget", |e| {
+            let [full, reduced, greedy] = self.budget.unit_ns();
+            e.u64("sim_ns", sim_ns)
+                .bool("over_budget", stats.over_budget)
+                .f64("ema_full_ns", full)
+                .f64("ema_reduced_ns", reduced)
+                .f64("ema_greedy_ns", greedy);
+        });
 
         // 7. Repair against the window's faults; displaced requests
         //    re-enter the backoff pipeline.
@@ -849,6 +885,34 @@ impl ServiceLoop {
                 .filter(|t| t.attempts > 0 && !shed_keys.contains(&request_key(&t.request)))
                 .count();
         stats.served = served.len();
+
+        ctx.recorder.event("cycle_end", |e| {
+            e.str("rung", stats.rung.label())
+                .u64("offered", stats.offered as u64)
+                .u64("rejected_full", stats.rejected_full as u64)
+                .u64("rejected_saturated", stats.rejected_saturated as u64)
+                .u64("admitted", stats.admitted as u64)
+                .u64("served", stats.served as u64)
+                .u64("shed", stats.shed as u64)
+                .u64("deferred", stats.deferred as u64)
+                .u64("dropped", stats.dropped as u64)
+                .u64("delayed", stats.delayed as u64)
+                .u64("deadline_misses", stats.deadline_misses as u64)
+                .u64("queue_depth", stats.queue_depth as u64)
+                .u64("sim_ns", stats.sim_ns)
+                .bool("over_budget", stats.over_budget)
+                .f64("cost", cost)
+                .f64("initial_cost", initial_cost)
+                .u64("victims", victims as u64)
+                .bool("overflow_free", overflow_free);
+        });
+        ctx.recorder.count("service.offered", stats.offered as u64);
+        ctx.recorder.count("service.served", stats.served as u64);
+        ctx.recorder.count("service.shed", stats.shed as u64);
+        ctx.recorder.count("service.deferred", stats.deferred as u64);
+        ctx.recorder.count("service.dropped", stats.dropped as u64);
+        ctx.recorder.gauge("service.queue_depth", stats.queue_depth as f64);
+        ctx.recorder.observe("service.sim_ns", &[1e5, 1e6, 1e7, 1e8, 1e9], stats.sim_ns as f64);
 
         self.cycle += 1;
         self.cycles.push(stats.clone());

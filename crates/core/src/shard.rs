@@ -142,6 +142,34 @@ pub struct ShardOutcome {
     pub trials_transplanted: usize,
 }
 
+impl ShardOutcome {
+    /// Emit this solve as a `"shard_solve"` flight-recorder event under
+    /// the recorder's current cycle scope: sharding shape, SORP work
+    /// counters, and cache-reuse totals — every decision input the
+    /// issue's debugging scenarios need.
+    fn record(&self, rec: &vod_obs::Recorder, requests: usize) {
+        rec.event("shard_solve", |e| {
+            e.u64("shards", self.shards as u64)
+                .u64("requests", requests as u64)
+                .u64("split_videos", self.split_videos as u64)
+                .u64("shared_storages", self.shared_storages as u64)
+                .u64("cross_shard_overflows", self.cross_shard_overflows as u64)
+                .u64("reconcile_iterations", self.reconcile_iterations as u64)
+                .u64("reconcile_victims", self.reconcile_victims as u64)
+                .u64("trials_transplanted", self.trials_transplanted as u64)
+                .u64("iterations", self.sorp.iterations as u64)
+                .u64("victims", self.sorp.victims.len() as u64)
+                .u64("forced_fallbacks", self.sorp.forced_fallbacks as u64)
+                .u64("trials_run", self.sorp.trials_run as u64)
+                .u64("trials_cached", self.sorp.trials_cached as u64)
+                .u64("nodes_rescanned", self.sorp.nodes_rescanned as u64)
+                .bool("overflow_free", self.sorp.overflow_free)
+                .f64("cost", self.sorp.cost)
+                .f64("initial_cost", self.sorp.initial_cost);
+        });
+    }
+}
+
 /// Solve one cycle's batch with the sharded two-phase pipeline.
 pub fn shard_solve(
     ctx: &SchedCtx<'_>,
@@ -157,6 +185,18 @@ pub fn shard_solve(
 /// the merged ledger all carry the external occupancy; it can never be
 /// victimised.
 pub fn shard_solve_seeded(
+    ctx: &SchedCtx<'_>,
+    batch: &RequestBatch,
+    cfg: &ShardConfig,
+    external: &[(NodeId, SpaceProfile)],
+    mode: ExecMode,
+) -> ShardOutcome {
+    let out = shard_solve_seeded_inner(ctx, batch, cfg, external, mode);
+    out.record(&ctx.recorder, batch.len());
+    out
+}
+
+fn shard_solve_seeded_inner(
     ctx: &SchedCtx<'_>,
     batch: &RequestBatch,
     cfg: &ShardConfig,
@@ -343,6 +383,19 @@ pub fn shard_solve_seeded(
 /// order-preservation contract leaves outputs bit-identical to the cold
 /// sharded pipeline's `inner`-mode passes.
 pub fn shard_solve_warm(
+    ctx: &SchedCtx<'_>,
+    batch: &RequestBatch,
+    cfg: &ShardConfig,
+    warm: &mut WarmState,
+    window_start: Secs,
+    mode: ExecMode,
+) -> ShardOutcome {
+    let out = shard_solve_warm_inner(ctx, batch, cfg, warm, window_start, mode);
+    out.record(&ctx.recorder, batch.len());
+    out
+}
+
+fn shard_solve_warm_inner(
     ctx: &SchedCtx<'_>,
     batch: &RequestBatch,
     cfg: &ShardConfig,

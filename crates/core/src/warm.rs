@@ -85,6 +85,30 @@ pub struct WarmStats {
     pub solve_ns: u64,
 }
 
+impl WarmStats {
+    /// Emit this snapshot as a `"warm"` flight-recorder event under the
+    /// recorder's current cycle scope. `solve_ns` is deliberately NOT a
+    /// field: it is wall clock, and event payloads stay deterministic —
+    /// wall time only ever appears in the recorder's optional `wall_ns`
+    /// side stamp (and in `WarmStats` itself for reports).
+    pub fn record(&self, rec: &vod_obs::Recorder) {
+        rec.event("warm", |e| {
+            e.u64("trials_carried", self.trials_carried as u64)
+                .u64("trials_evicted", self.trials_evicted as u64)
+                .u64("trials_adopted", self.trials_adopted as u64)
+                .u64("trials_revalidated", self.trials_revalidated as u64)
+                .u64("trials_hit", self.trials_hit as u64)
+                .u64("phase1_carried", self.phase1_carried as u64)
+                .u64("phase1_evicted", self.phase1_evicted as u64)
+                .u64("phase1_hits", self.phase1_hits as u64)
+                .u64("committed_active", self.committed_active as u64)
+                .u64("committed_evicted", self.committed_evicted as u64)
+                .u64("shards_used", self.shards_used as u64)
+                .f64("spillover_bytes", self.spillover_bytes);
+        });
+    }
+}
+
 /// One memoized phase-1 result: the greedy is a pure function of
 /// `(requests, policy)` given a fixed context, so an exact match prices
 /// the group without re-running it — bit-identically.

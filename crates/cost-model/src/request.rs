@@ -35,10 +35,7 @@ impl RequestBatch {
     pub fn new(mut requests: Vec<Request>) -> Self {
         let total = requests.len();
         requests.sort_by(|a, b| {
-            a.video
-                .cmp(&b.video)
-                .then(a.start.partial_cmp(&b.start).expect("request times are never NaN"))
-                .then(a.user.cmp(&b.user))
+            a.video.cmp(&b.video).then(a.start.total_cmp(&b.start)).then(a.user.cmp(&b.user))
         });
         let mut groups: Vec<(VideoId, Vec<Request>)> = Vec::new();
         for r in requests {

@@ -176,12 +176,7 @@ impl VideoSchedule {
             .iter()
             .filter_map(|t| t.user.map(|user| Request { user, video: self.video, start: t.start }))
             .collect();
-        out.sort_by(|a, b| {
-            a.start
-                .partial_cmp(&b.start)
-                .expect("request times are never NaN")
-                .then(a.user.cmp(&b.user))
-        });
+        out.sort_by(|a, b| a.start.total_cmp(&b.start).then(a.user.cmp(&b.user)));
         out
     }
 }

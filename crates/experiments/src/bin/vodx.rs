@@ -25,6 +25,7 @@ fn main() -> ExitCode {
     let mut adaptive = false;
     let mut burst: Option<usize> = None;
     let mut budget_ns: Option<f64> = None;
+    let mut record: Option<PathBuf> = None;
     let mut targets: Vec<String> = Vec::new();
 
     let mut it = args.iter();
@@ -61,6 +62,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--record" => match it.next() {
+                Some(path) => record = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--record needs a file argument");
+                    return ExitCode::FAILURE;
+                }
+            },
             "-h" | "--help" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -75,6 +83,31 @@ fn main() -> ExitCode {
     if targets.is_empty() {
         eprintln!("no experiment given\n{}", usage());
         return ExitCode::FAILURE;
+    }
+    // `trace FILE` — dump and summarize a flight recording, no solving.
+    if targets[0] == "trace" {
+        let Some(path) = targets.get(1) else {
+            eprintln!("trace needs a recording file argument\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match vod_obs::Recording::from_jsonl(&text) {
+            Ok(rec) => {
+                println!("# Flight recording {path}");
+                print!("{}", rec.summarize());
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("{path} is not a valid recording: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     if targets.iter().any(|t| t == "all") {
         targets = [
@@ -127,9 +160,7 @@ fn main() -> ExitCode {
                 let busiest = analysis
                     .storages
                     .iter()
-                    .max_by(|a, b| {
-                        a.peak_utilization.partial_cmp(&b.peak_utilization).expect("finite")
-                    })
+                    .max_by(|a, b| a.peak_utilization.total_cmp(&b.peak_utilization))
                     .expect("storages exist")
                     .loc;
                 println!(
@@ -159,8 +190,18 @@ fn main() -> ExitCode {
                     adaptive,
                     ..cycles::RollingConfig::default()
                 };
-                let r = cycles::rolling_horizon_with(&params, n, &cfg);
+                let recorder = match &record {
+                    Some(_) => vod_obs::Recorder::enabled(),
+                    None => vod_obs::Recorder::disabled(),
+                };
+                let r = cycles::rolling_horizon_recorded(&params, n, &cfg, &recorder);
                 println!("{}", r.render());
+                if let Some(path) = &record {
+                    if let Err(e) = write_recording(path, &recorder) {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
                 if let Some(dir) = &out_dir {
                     let path = dir.join("cycles.txt");
                     if let Err(e) = std::fs::write(&path, r.render()) {
@@ -178,9 +219,19 @@ fn main() -> ExitCode {
                     burst: vec![(1, burst.unwrap_or(4))],
                     ..service::ServiceParams::default()
                 };
-                let (r, report) = service::service_horizon(&params, n, &sp);
+                let recorder = match &record {
+                    Some(_) => vod_obs::Recorder::enabled(),
+                    None => vod_obs::Recorder::disabled(),
+                };
+                let (r, report, _) = service::service_horizon_recorded(&params, n, &sp, &recorder);
                 println!("{}", r.render());
                 println!("{}", report.render());
+                if let Some(path) = &record {
+                    if let Err(e) = write_recording(path, &recorder) {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
                 if let Some(dir) = &out_dir {
                     let path = dir.join("service.txt");
                     let body = format!("{}\n{}", r.render(), report.render());
@@ -245,8 +296,17 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn write_recording(path: &PathBuf, recorder: &vod_obs::Recorder) -> Result<(), String> {
+    let rec = recorder.recording().expect("recorder was enabled for --record");
+    std::fs::write(path, rec.to_jsonl())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    eprintln!("[flight recording: {} events -> {}]", rec.events.len(), path.display());
+    Ok(())
+}
+
 fn usage() -> &'static str {
     "usage: vodx <fig5|fig6|fig7|fig8|fig9|table5|gap|bandwidth|cycles|service|inspect|all> [--fast] [--out DIR]\n\
+     \x20      vodx trace FILE\n\
      \n\
      Reproduces the evaluation of Won & Srivastava (HPDC 1997).\n\
      --fast   use reduced grids/workload (smoke run)\n\
@@ -255,5 +315,7 @@ fn usage() -> &'static str {
      --cold     cycles: re-solve each cycle from scratch (oracle path)\n\
      --adaptive cycles: let the warm selector pick the shard count\n\
      --burst N     service: arrival multiplier for the burst cycle (default 4)\n\
-     --budget-ns B service: per-cycle deadline budget in simulated ns"
+     --budget-ns B service: per-cycle deadline budget in simulated ns\n\
+     --record F    cycles/service: write a JSONL flight recording to F\n\
+     trace F       dump + summarize a recording written by --record"
 }

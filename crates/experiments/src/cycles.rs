@@ -210,12 +210,25 @@ pub fn rolling_horizon_with(
     n_cycles: usize,
     cfg: &RollingConfig,
 ) -> RollingOutcome {
+    rolling_horizon_recorded(params, n_cycles, cfg, &vod_obs::Recorder::disabled())
+}
+
+/// [`rolling_horizon_with`] with a telemetry recorder attached: shard
+/// solves, warm-start stats, and — under `cfg.adaptive` — the
+/// `ShardSelector`'s picks and (wall-clock) fit observations all land in
+/// the recording, scoped per cycle in simulated time.
+pub fn rolling_horizon_recorded(
+    params: &EnvParams,
+    n_cycles: usize,
+    cfg: &RollingConfig,
+    recorder: &vod_obs::Recorder,
+) -> RollingOutcome {
     assert!(n_cycles >= 1, "need at least one cycle");
     let (topo, _) = params.build();
     let catalog_cfg = CatalogConfig { videos: params.videos, ..CatalogConfig::paper() };
     let catalog = generate_catalog(&catalog_cfg, params.seed ^ 0xCA7A_10C0_FFEE_0001);
     let model = CostModel::per_hop();
-    let ctx = SchedCtx::new(&topo, &model, &catalog);
+    let ctx = SchedCtx::new(&topo, &model, &catalog).with_recorder(recorder.clone());
     let horizon = 24.0 * 3_600.0;
 
     let mut warm = WarmState::new(&topo);
@@ -239,10 +252,15 @@ pub fn rolling_horizon_with(
             raw.iter().map(|r| Request { start: r.start + k as f64 * horizon, ..*r }).collect();
         let batch = RequestBatch::new(shifted);
         let t0 = k as f64 * horizon;
+        ctx.recorder.begin_cycle(k as u64, t0);
 
         let mut shard_cfg = cfg.shard.clone();
         if cfg.adaptive && !cfg.use_cold_start {
-            shard_cfg.shards = warm.selector.pick(batch.len(), populated_regions(&topo, &batch));
+            shard_cfg.shards = warm.selector.pick_recorded(
+                batch.len(),
+                populated_regions(&topo, &batch),
+                &ctx.recorder,
+            );
         }
 
         let started = Instant::now();
@@ -260,13 +278,15 @@ pub fn rolling_horizon_with(
         };
         let solve_ns = started.elapsed().as_nanos() as u64;
         warm_stats.solve_ns = solve_ns;
+        warm_stats.record(&ctx.recorder);
 
         if cfg.adaptive && !cfg.use_cold_start {
-            warm.selector.observe(
+            warm.selector.observe_recorded(
                 batch.len(),
                 warm_stats.shards_used,
                 solve_ns as f64,
                 outcome.reconcile_iterations as f64,
+                &ctx.recorder,
             );
         }
 

@@ -96,7 +96,7 @@ pub fn gap(preset: Preset) -> GapResult {
                 start: rng.range_f64(0.0, units::hours(24.0)),
             })
             .collect();
-        requests.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite"));
+        requests.sort_by(|a, b| a.start.total_cmp(&b.start));
 
         let greedy = ctx.video_cost(&find_video_schedule(&ctx, &requests));
         let exact = find_optimal_video_schedule(&ctx, &requests);

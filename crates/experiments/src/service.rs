@@ -45,6 +45,14 @@ pub struct ServiceParams {
     pub trace_cycles: Option<usize>,
 }
 
+/// The catalog a service horizon run over `params` uses — the same
+/// seed-splitting convention as [`vod_workload::Workload::generate`],
+/// exposed so replay-side validation can reconstruct it exactly.
+pub fn service_catalog(params: &EnvParams) -> vod_cost_model::Catalog {
+    let catalog_cfg = CatalogConfig { videos: params.videos, ..CatalogConfig::paper() };
+    generate_catalog(&catalog_cfg, params.seed ^ 0xCA7A_10C0_FFEE_0001)
+}
+
 /// Run `n_cycles` of the environment through the service frontend.
 /// Returns the per-cycle [`RollingOutcome`] (service stats attached to
 /// every [`CycleReport`]) and the aggregated [`ServiceReport`].
@@ -65,12 +73,24 @@ pub fn service_horizon_full(
     n_cycles: usize,
     sp: &ServiceParams,
 ) -> (RollingOutcome, ServiceReport, Vec<ServiceCycleOutcome>) {
+    service_horizon_recorded(params, n_cycles, sp, &vod_obs::Recorder::disabled())
+}
+
+/// [`service_horizon_full`] with a telemetry recorder attached to the
+/// scheduling context: every cycle's rung, intake, warm-start, shard
+/// solve, and repair decision lands in the recording, in simulated
+/// time. Pass [`vod_obs::Recorder::disabled`] for the no-op path.
+pub fn service_horizon_recorded(
+    params: &EnvParams,
+    n_cycles: usize,
+    sp: &ServiceParams,
+    recorder: &vod_obs::Recorder,
+) -> (RollingOutcome, ServiceReport, Vec<ServiceCycleOutcome>) {
     assert!(n_cycles >= 1, "need at least one cycle");
     let (topo, _) = params.build();
-    let catalog_cfg = CatalogConfig { videos: params.videos, ..CatalogConfig::paper() };
-    let catalog = generate_catalog(&catalog_cfg, params.seed ^ 0xCA7A_10C0_FFEE_0001);
+    let catalog = service_catalog(params);
     let model = CostModel::per_hop();
-    let ctx = SchedCtx::new(&topo, &model, &catalog);
+    let ctx = SchedCtx::new(&topo, &model, &catalog).with_recorder(recorder.clone());
 
     let arrival_cfg = ArrivalConfig {
         request: RequestConfig {

@@ -293,7 +293,7 @@ impl FaultPlan {
             if storages.is_empty() {
                 break;
             }
-            let node = storages[(rng.next_u64() % storages.len() as u64) as usize];
+            let node = storages[rng.index(storages.len())];
             let (from, until) = window(&mut rng);
             faults.push(Fault::NodeOutage { node, from, until });
         }
@@ -306,7 +306,7 @@ impl FaultPlan {
             }
             // Walk edges from a random offset; take the first whose
             // removal keeps the graph connected.
-            let offset = (rng.next_u64() % m as u64) as usize;
+            let offset = rng.index(m);
             let chosen = (0..m).map(|i| (offset + i) % m).find(|&i| {
                 let e = &topo.edges()[i];
                 let mut trial = failed.clone();
@@ -325,7 +325,7 @@ impl FaultPlan {
             if m == 0 {
                 break;
             }
-            let e = &topo.edges()[(rng.next_u64() % m as u64) as usize];
+            let e = &topo.edges()[rng.index(m)];
             let (from, until) = window(&mut rng);
             let factor = rng.range_f64(cfg.min_factor, cfg.max_factor);
             faults.push(Fault::LinkDegraded { a: e.a, b: e.b, from, until, factor });

@@ -1,0 +1,277 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! histograms with deterministic (sorted-name) iteration order.
+
+use crate::json::{emit_f64, emit_str, Json, JsonError};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A fixed-bucket histogram: `counts[i]` counts observations `v ≤
+/// bounds[i]` (first matching bucket), with one overflow bucket at the
+/// end for values above every bound.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    /// Ascending upper bounds, fixed at first observation.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts, `bounds.len() + 1` long (last = overflow).
+    pub counts: Vec<u64>,
+    /// Sum of every observed value.
+    pub sum: f64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        Self { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1], sum: 0.0 }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx] += 1;
+        self.sum += v;
+    }
+
+    /// Total observations across all buckets.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Self) -> bool {
+        self.counts == other.counts
+            && self.sum.to_bits() == other.sum.to_bits()
+            && self.bounds.len() == other.bounds.len()
+            && self.bounds.iter().zip(&other.bounds).all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+}
+
+/// Named metrics with deterministic ordering. Equality compares floats
+/// by bit pattern, matching the recorder's round-trip contract.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to the named counter (created at zero on first use).
+    pub fn count(&mut self, name: &str, by: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c += by,
+            None => {
+                self.counters.insert(name.to_string(), by);
+            }
+        }
+    }
+
+    /// Set the named gauge to `v` (last write wins).
+    pub fn gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Observe `v` into the named histogram, creating it with `bounds`
+    /// on first use. Later calls ignore `bounds` — buckets are fixed for
+    /// the registry's lifetime.
+    pub fn observe(&mut self, name: &str, bounds: &[f64], v: f64) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.observe(v),
+            None => {
+                let mut h = Histogram::new(bounds);
+                h.observe(v);
+                self.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// The named counter's value (0 when never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named gauge's value, if ever set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if it ever observed anything.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Whether nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// One-object JSON encoding, names sorted, floats bit-faithful.
+    pub fn emit_json(&self, out: &mut String) {
+        out.push_str("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            emit_str(out, k);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            emit_str(out, k);
+            out.push(':');
+            crate::recorder::emit_f64_tagged(out, *v);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            emit_str(out, k);
+            out.push_str(":{\"bounds\":[");
+            for (j, b) in h.bounds.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                emit_f64(out, *b);
+            }
+            out.push_str("],\"counts\":[");
+            for (j, c) in h.counts.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{c}");
+            }
+            out.push_str("],\"sum\":");
+            crate::recorder::emit_f64_tagged(out, h.sum);
+            out.push('}');
+        }
+        out.push_str("}}");
+    }
+
+    /// Rebuild a registry from [`Registry::emit_json`] output.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let bad = |m: &str| JsonError { at: 0, message: m.to_string() };
+        let mut reg = Registry::new();
+        if let Some(Json::Obj(fields)) = v.get("counters") {
+            for (k, v) in fields {
+                reg.counters.insert(k.clone(), v.as_u64().ok_or_else(|| bad("bad counter"))?);
+            }
+        }
+        if let Some(Json::Obj(fields)) = v.get("gauges") {
+            for (k, v) in fields {
+                let f = crate::recorder::f64_from_tagged(v).ok_or_else(|| bad("bad gauge"))?;
+                reg.gauges.insert(k.clone(), f);
+            }
+        }
+        if let Some(Json::Obj(fields)) = v.get("histograms") {
+            for (k, v) in fields {
+                let bounds = match v.get("bounds") {
+                    Some(Json::Arr(items)) => items
+                        .iter()
+                        .map(|b| b.as_f64().ok_or_else(|| bad("bad bound")))
+                        .collect::<Result<Vec<f64>, _>>()?,
+                    _ => return Err(bad("histogram without bounds")),
+                };
+                let counts = match v.get("counts") {
+                    Some(Json::Arr(items)) => items
+                        .iter()
+                        .map(|c| c.as_u64().ok_or_else(|| bad("bad count")))
+                        .collect::<Result<Vec<u64>, _>>()?,
+                    _ => return Err(bad("histogram without counts")),
+                };
+                if counts.len() != bounds.len() + 1 {
+                    return Err(bad("histogram bucket arity mismatch"));
+                }
+                let sum = v
+                    .get("sum")
+                    .and_then(crate::recorder::f64_from_tagged)
+                    .ok_or_else(|| bad("histogram without sum"))?;
+                reg.histograms.insert(k.clone(), Histogram { bounds, counts, sum });
+            }
+        }
+        Ok(reg)
+    }
+
+    /// Aligned text rendering for trace summaries.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k:<40} {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "gauges:");
+            for (k, v) in &self.gauges {
+                let _ = writeln!(out, "  {k:<40} {v}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "histograms:");
+            for (k, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {k:<40} n={} sum={:.3e} buckets={:?}",
+                    h.total(),
+                    h.sum,
+                    h.counts
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn counters_gauges_histograms_accumulate() {
+        let mut r = Registry::new();
+        r.count("served", 3);
+        r.count("served", 2);
+        r.gauge("queue", 7.0);
+        r.gauge("queue", 4.0);
+        r.observe("ns", &[10.0, 100.0], 5.0);
+        r.observe("ns", &[10.0, 100.0], 50.0);
+        r.observe("ns", &[10.0, 100.0], 5000.0);
+        assert_eq!(r.counter("served"), 5);
+        assert_eq!(r.gauge_value("queue"), Some(4.0));
+        let h = r.histogram("ns").expect("created");
+        assert_eq!(h.counts, vec![1, 1, 1]);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.sum, 5055.0);
+        // Boundary values land in the bucket whose bound they equal.
+        let mut r2 = Registry::new();
+        r2.observe("b", &[10.0], 10.0);
+        assert_eq!(r2.histogram("b").expect("created").counts, vec![1, 0]);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut r = Registry::new();
+        r.count("a.b", 42);
+        r.gauge("g", -0.0);
+        r.gauge("inf", f64::INFINITY);
+        r.observe("h", &[1.0, 2.0], 1.5);
+        let mut s = String::new();
+        r.emit_json(&mut s);
+        let back = Registry::from_json(&parse(&s).expect("valid")).expect("well-formed");
+        assert_eq!(back, r);
+    }
+}

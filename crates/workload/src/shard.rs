@@ -143,7 +143,7 @@ fn partition_by_time(batch: &RequestBatch, spec: &ShardSpec) -> Vec<RequestBatch
     requests.sort_by(|a, b| {
         let ka = (mix(spec.seed, a.user.0 as u64, a.video.0 as u64), a.user.0, a.video.0);
         let kb = (mix(spec.seed, b.user.0 as u64, b.video.0 as u64), b.user.0, b.video.0);
-        a.start.partial_cmp(&b.start).expect("request times are never NaN").then(ka.cmp(&kb))
+        a.start.total_cmp(&b.start).then(ka.cmp(&kb))
     });
 
     let n = requests.len();
@@ -238,7 +238,7 @@ mod tests {
             })
             .collect();
         let mut sorted = spans.clone();
-        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
         for w in sorted.windows(2) {
             assert!(w[0].1 <= w[1].0 + 1e-9, "time slices overlap: {w:?}");
         }

@@ -34,7 +34,7 @@ fn main() {
     let busiest = analysis
         .storages
         .iter()
-        .max_by(|a, b| a.peak_utilization.partial_cmp(&b.peak_utilization).unwrap())
+        .max_by(|a, b| a.peak_utilization.total_cmp(&b.peak_utilization))
         .expect("the topology has storages")
         .loc;
     println!("=== occupancy timeline ===");

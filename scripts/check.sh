@@ -31,6 +31,9 @@ cargo bench --offline -p vod-bench --bench cycles_warm -- --test
 echo "==> bench smoke run (service_overload --test)"
 cargo bench --offline -p vod-bench --bench service_overload -- --test
 
+echo "==> bench smoke run (telemetry_overhead --test)"
+cargo bench --offline -p vod-bench --bench telemetry_overhead -- --test
+
 echo "==> sharded-scheduler property suite"
 cargo test -q --offline -p vod-core --test shard_props
 
@@ -47,6 +50,23 @@ cargo test -q --offline -p vod-faults
 cargo test -q --offline -p vod-core repair
 cargo test -q --offline -p vod-core --test repair_props
 cargo test -q --offline --test fault_injection_e2e --test failure_injection
+
+echo "==> telemetry suite (obs crate + recorder transparency + e2e reconcile)"
+cargo test -q --offline -p vod-obs
+cargo test -q --offline -p vod-core --test telemetry_props
+cargo test -q --offline --test telemetry_e2e
+rec="$(mktemp /tmp/vod-flight.XXXXXX.jsonl)"
+cargo run -q --release --offline -p vod-experiments --bin vodx -- service --fast --record "$rec" >/dev/null
+cargo run -q --release --offline -p vod-experiments --bin vodx -- trace "$rec" >/dev/null
+rm -f "$rec"
+
+echo "==> comparator lint (no panicking partial_cmp in first-party code)"
+# NaN-poisoned sorts panic at runtime; f64::total_cmp is the workspace rule.
+if grep -rn --include='*.rs' -E 'partial_cmp\([^)]*\)\s*\.\s*(unwrap|expect)' \
+    crates src tests examples 2>/dev/null; then
+  echo "error: use f64::total_cmp instead of partial_cmp().unwrap()" >&2
+  exit 1
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --check

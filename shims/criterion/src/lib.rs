@@ -88,7 +88,7 @@ impl Samples {
             println!("{name:<50} (no samples)");
             return;
         }
-        self.per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        self.per_iter_ns.sort_by(f64::total_cmp);
         let min = self.per_iter_ns[0];
         let max = *self.per_iter_ns.last().expect("non-empty");
         let median = self.per_iter_ns[self.per_iter_ns.len() / 2];

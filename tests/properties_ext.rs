@@ -108,7 +108,7 @@ proptest! {
                 start: rng.range_f64(0.0, 86_400.0),
             })
             .collect();
-        requests.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        requests.sort_by(|a, b| a.start.total_cmp(&b.start));
 
         let model = CostModel::per_hop();
         let ctx = SchedCtx::new(&topo, &model, &catalog);
